@@ -1,0 +1,153 @@
+// Benchmarks regenerating the paper's evaluation: one sub-benchmark per
+// figure (BenchmarkFigures), plus micro-benchmarks for the key server's
+// unit costs that feed the capacity analysis. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks execute the registered experiment at quick scale;
+// use cmd/rekeybench for paper-scale sweeps and the printed tables.
+package rekey_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	rekey "repro"
+	"repro/internal/experiments"
+	"repro/internal/keys"
+	"repro/internal/keytree"
+	"repro/internal/workload"
+)
+
+// BenchmarkFigures runs every registered experiment (each regenerating
+// one paper figure or analysis table) at reduced scale.
+func BenchmarkFigures(b *testing.B) {
+	for _, e := range experiments.All() {
+		b.Run(e.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := experiments.Options{Quick: true, Messages: 4, Seed: uint64(i + 1)}
+				if _, err := e.Run(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMarkingAlgorithm measures one batch (J=0, L=N/4) on a
+// 4096-user tree: the key management component's per-interval work.
+func BenchmarkMarkingAlgorithm(b *testing.B) {
+	gen, err := workload.NewGenerator(4096, 4, 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gen.Batch(0, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRekeyMessageMaterialize measures the full server pipeline
+// with real cryptography: batch -> UKA -> wire packets, for a 1024-user
+// group with 25% churn.
+func BenchmarkRekeyMessageMaterialize(b *testing.B) {
+	srv, err := rekey.NewServer(rekey.Config{KeySeed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1024; i++ {
+		if err := srv.QueueJoin(rekey.MemberID(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := srv.Rekey(); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	next := rekey.MemberID(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Steady-state churn: 64 members swap out.
+		var present []rekey.MemberID
+		for m := rekey.MemberID(0); m < next; m++ {
+			if _, ok := srv.Credentials(m); ok {
+				present = append(present, m)
+			}
+		}
+		perm := rng.Perm(len(present))
+		for j := 0; j < 64; j++ {
+			if err := srv.QueueLeave(present[perm[j]]); err != nil {
+				b.Fatal(err)
+			}
+			if err := srv.QueueJoin(next); err != nil {
+				b.Fatal(err)
+			}
+			next++
+		}
+		b.StartTimer()
+		if _, err := srv.Rekey(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemberIngest measures client-side processing of one specific
+// ENC packet (parse + unwrap path keys), the per-user per-interval cost.
+func BenchmarkMemberIngest(b *testing.B) {
+	srv, err := rekey.NewServer(rekey.Config{KeySeed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		if err := srv.QueueJoin(rekey.MemberID(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rm, err := srv.Rekey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cred, _ := srv.Credentials(7)
+	pkt, ok := rm.PacketFor(cred.NodeID)
+	if !ok {
+		b.Fatal("no packet")
+	}
+	raw, err := pkt.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := rekey.NewMember(cred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Ingest(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTheorem42 measures the client-side ID rederivation.
+func BenchmarkTheorem42(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, ok := keytree.NewID(4, 5461, 1365); !ok {
+			b.Fatal("no ID")
+		}
+	}
+}
+
+// BenchmarkGroupKeyWrap isolates the {k'}_k operation (per-encryption
+// server cost, also the unit of the capacity analysis).
+func BenchmarkGroupKeyWrap(b *testing.B) {
+	g := keys.NewDeterministicGenerator(4)
+	outer, inner := g.MustNewKey(), g.MustNewKey()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		keys.Wrap(outer, inner)
+	}
+}

@@ -1,0 +1,189 @@
+// Command keyserverd runs a group key server over UDP on one host.
+//
+// It listens on a control TCP port for registration ("JOIN <id> <udp
+// addr>" / "LEAVE <id>" lines) and periodically processes the queued
+// batch, distributing each rekey message to the registered members via
+// the UDP rekey transport. It is the wire-facing counterpart of the
+// simulation harness: the same server protocol, driven by a clock
+// instead of a simulated network.
+//
+// Usage:
+//
+//	keyserverd [-ctl 127.0.0.1:7700] [-udp 127.0.0.1:0] [-interval 2s] [-rho 1.2] [-k 10]
+//
+// Protocol on the control port (one command per line):
+//
+//	JOIN <member-id> <udp-host:port>   -> "OK <nodeID> <hexkey> <degree> <k>" after next rekey
+//	LEAVE <member-id>                  -> "OK"
+//	REKEY                              -> force an immediate batch
+//	STATUS                             -> group size, pending counts
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	rekey "repro"
+	"repro/internal/udptrans"
+)
+
+type daemon struct {
+	mu      sync.Mutex
+	ks      *rekey.Server
+	tr      *udptrans.Server
+	opts    udptrans.Options
+	pending map[rekey.MemberID]*net.UDPAddr // joiners awaiting the next batch
+}
+
+func main() {
+	var (
+		ctl      = flag.String("ctl", "127.0.0.1:7700", "control (TCP) listen address")
+		udp      = flag.String("udp", "127.0.0.1:0", "rekey transport (UDP) listen address")
+		interval = flag.Duration("interval", 2*time.Second, "rekey interval")
+		rho      = flag.Float64("rho", 1.2, "proactivity factor")
+		k        = flag.Int("k", 10, "FEC block size")
+		seed     = flag.Uint64("seed", 0, "deterministic key seed (0 = crypto/rand)")
+	)
+	flag.Parse()
+
+	ks, err := rekey.NewServer(rekey.Config{BlockSize: *k, KeySeed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := udptrans.NewServer(ks, *udp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := udptrans.DefaultOptions()
+	opts.Rho = *rho
+	d := &daemon{ks: ks, tr: tr, opts: opts, pending: make(map[rekey.MemberID]*net.UDPAddr)}
+
+	ln, err := net.Listen("tcp", *ctl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("keyserverd: control on %s, transport on %s, interval %v", ln.Addr(), tr.Addr(), *interval)
+
+	go func() {
+		tick := time.NewTicker(*interval)
+		defer tick.Stop()
+		for range tick.C {
+			if err := d.rekey(); err != nil && err != rekey.ErrNoChange {
+				log.Printf("rekey: %v", err)
+			}
+		}
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go d.serveCtl(conn)
+	}
+}
+
+func (d *daemon) rekey() error {
+	d.mu.Lock()
+	rm, err := d.ks.Rekey()
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	// Joiners become addressable members now.
+	for id, addr := range d.pending {
+		d.tr.SetMemberAddr(id, addr)
+		delete(d.pending, id)
+	}
+	d.mu.Unlock()
+	st, err := d.tr.Distribute(rm, d.opts)
+	if err != nil {
+		return err
+	}
+	log.Printf("rekey msg %d: %d ENC, %d PARITY, %d USR, %d rounds, group size %d",
+		rm.MsgID, st.EncSent, st.ParitySent, st.UsrSent, st.Rounds, d.ks.N())
+	return nil
+}
+
+func (d *daemon) serveCtl(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		reply := d.handle(fields)
+		fmt.Fprintln(conn, reply)
+	}
+}
+
+func (d *daemon) handle(fields []string) string {
+	switch strings.ToUpper(fields[0]) {
+	case "JOIN":
+		if len(fields) != 3 {
+			return "ERR usage: JOIN <id> <udp-addr>"
+		}
+		id, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return "ERR bad member id"
+		}
+		addr, err := net.ResolveUDPAddr("udp", fields[2])
+		if err != nil {
+			return "ERR bad udp addr"
+		}
+		d.mu.Lock()
+		err = d.ks.QueueJoin(rekey.MemberID(id))
+		if err == nil {
+			d.pending[rekey.MemberID(id)] = addr
+		}
+		d.mu.Unlock()
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		// Registration completes at the next batch; blocks until then.
+		for i := 0; i < 100; i++ {
+			if cred, ok := d.ks.Credentials(rekey.MemberID(id)); ok {
+				return fmt.Sprintf("OK %d %s %d %d", cred.NodeID, hex.EncodeToString(cred.Key[:]), cred.Degree, cred.BlockSize)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		return "ERR registration timed out"
+	case "LEAVE":
+		if len(fields) != 2 {
+			return "ERR usage: LEAVE <id>"
+		}
+		id, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return "ERR bad member id"
+		}
+		d.mu.Lock()
+		err = d.ks.QueueLeave(rekey.MemberID(id))
+		if err == nil {
+			d.tr.RemoveMemberAddr(rekey.MemberID(id))
+		}
+		d.mu.Unlock()
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "REKEY":
+		if err := d.rekey(); err != nil && err != rekey.ErrNoChange {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "STATUS":
+		j, l := d.ks.Pending()
+		return fmt.Sprintf("OK n=%d pendingJoins=%d pendingLeaves=%d", d.ks.N(), j, l)
+	default:
+		return "ERR unknown command"
+	}
+}

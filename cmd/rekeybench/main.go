@@ -1,0 +1,72 @@
+// Command rekeybench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	rekeybench -list
+//	rekeybench -exp f9-nacks-vs-rho
+//	rekeybench -exp all [-quick] [-messages 25] [-seed 1]
+//
+// Each experiment prints one text table per figure: series blocks of
+// "x<TAB>y" rows, the same series the corresponding paper figure plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "", "experiment ID to run, or 'all'")
+		quick    = flag.Bool("quick", false, "reduced sweep sizes for a fast pass")
+		messages = flag.Int("messages", 0, "rekey messages per configuration (default 25, 6 with -quick)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-26s %-34s %s\n", e.ID, e.Paper, e.Desc)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := experiments.Options{Messages: *messages, Seed: *seed, Quick: *quick}
+	var toRun []experiments.Experiment
+	if *exp == "all" {
+		toRun = experiments.All()
+	} else {
+		e, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rekeybench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		fmt.Printf("# %s — regenerates %s\n# %s\n", e.ID, e.Paper, e.Desc)
+		figs, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rekeybench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			if err := experiments.Fprint(os.Stdout, f); err != nil {
+				fmt.Fprintf(os.Stderr, "rekeybench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("# %s finished in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

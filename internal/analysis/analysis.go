@@ -1,0 +1,195 @@
+// Package analysis reproduces the analytical side of "Reliable group
+// rekeying: a performance analysis": closed-form expectations for the
+// batch-rekeying workload a key tree generates, and a key-server
+// processing-cost model from which the maximum sustainable group size
+// follows.
+//
+// The central quantity is the expected number of encryptions a batch of
+// L uniformly-chosen departures (J=0) induces on a full, balanced key
+// tree of N = d^h users. A k-node at level l (subtree of s = N/d^l
+// users) is updated iff at least one of its users departed and at least
+// one remains; an updated node emits one encryption per child subtree
+// that retains a user. Hypergeometric survival probabilities give the
+// expectation exactly; the marking algorithm's simulated counts must
+// match it, which is the package's primary cross-validation against
+// internal/keytree.
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// lnChoose returns ln C(n, k) via log-gamma, and -Inf when the
+// combination is impossible.
+func lnChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}
+
+// hyperNone returns P(a uniform L-subset of N avoids a fixed s-subset):
+// C(N-s, L) / C(N, L).
+func hyperNone(N, L, s int) float64 {
+	if s > N {
+		return 0
+	}
+	return math.Exp(lnChoose(N-s, L) - lnChoose(N, L))
+}
+
+// hyperAll returns P(a uniform L-subset of N contains a fixed s-subset):
+// C(N-s, L-s) / C(N, L).
+func hyperAll(N, L, s int) float64 {
+	if s > L {
+		return 0
+	}
+	return math.Exp(lnChoose(N-s, L-s) - lnChoose(N, L))
+}
+
+// ExpectedEncryptionsLeave returns the expected number of encryptions in
+// the rekey subtree when L of N users leave (no joins), on a full
+// balanced tree of degree d with N = d^h. It returns an error if N is
+// not a power of d or L is out of range.
+func ExpectedEncryptionsLeave(N, d, L int) (float64, error) {
+	h, err := heightOf(N, d)
+	if err != nil {
+		return 0, err
+	}
+	if L < 0 || L > N {
+		return 0, fmt.Errorf("analysis: L=%d outside [0,%d]", L, N)
+	}
+	if L == 0 {
+		return 0, nil
+	}
+	total := 0.0
+	for l := 0; l < h; l++ {
+		nodes := math.Pow(float64(d), float64(l))
+		s := N / pow(d, l) // users under a level-l node
+		c := s / d         // users under one of its children
+		// For one (node, child) pair: the edge contributes an
+		// encryption iff the node saw at least one departure and the
+		// child keeps at least one user:
+		//   P = 1 - P(child fully departed) - P(node saw no departure).
+		// The two excluded events are disjoint (a departure-free node
+		// cannot contain a fully-departed child since c >= 1).
+		p := 1 - hyperAll(N, L, c) - hyperNone(N, L, s)
+		if p < 0 {
+			p = 0
+		}
+		total += nodes * float64(d) * p
+	}
+	return total, nil
+}
+
+// ExpectedUpdatedKNodes returns the expected number of k-nodes whose
+// keys change when L of N users leave (no joins).
+func ExpectedUpdatedKNodes(N, d, L int) (float64, error) {
+	h, err := heightOf(N, d)
+	if err != nil {
+		return 0, err
+	}
+	if L < 0 || L > N {
+		return 0, fmt.Errorf("analysis: L=%d outside [0,%d]", L, N)
+	}
+	if L == 0 {
+		return 0, nil
+	}
+	total := 0.0
+	for l := 0; l < h; l++ {
+		nodes := math.Pow(float64(d), float64(l))
+		s := N / pow(d, l)
+		// Updated iff >=1 departed and >=1 survivor under the node.
+		p := 1 - hyperNone(N, L, s) - hyperAll(N, L, s)
+		if p < 0 {
+			p = 0
+		}
+		total += nodes * p
+	}
+	return total, nil
+}
+
+func heightOf(N, d int) (int, error) {
+	if d < 2 {
+		return 0, fmt.Errorf("analysis: degree %d", d)
+	}
+	h := 0
+	for n := 1; n < N; n *= d {
+		h++
+		if h > 60 {
+			return 0, fmt.Errorf("analysis: N=%d too large", N)
+		}
+	}
+	if pow(d, h) != N {
+		return 0, fmt.Errorf("analysis: N=%d is not a power of d=%d", N, d)
+	}
+	return h, nil
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}
+
+// Costs holds the key server's measured unit processing costs, the
+// inputs of the capacity model. Obtain them from the package benchmarks
+// (BenchmarkSign, BenchmarkWrap, BenchmarkFECEncode*).
+type Costs struct {
+	// Sign is the per-rekey-message signing time (seconds).
+	Sign float64
+	// Wrap is the per-encryption key wrapping time (seconds).
+	Wrap float64
+	// ParityPerBlockByte is the FEC encoding time per parity packet per
+	// block-size unit (seconds per (parity packet * k)); Rizzo-style
+	// coders are linear in k.
+	ParityPerBlockByte float64
+	// PacketLen is the multicast packet length in bytes.
+	PacketLen int
+}
+
+// ServerWork returns the key server's processing seconds for one rekey
+// message: N users, degree d, L = churn*N departures, block size k and
+// proactivity rho.
+func ServerWork(c Costs, N, d int, churn float64, k int, rho float64) (float64, error) {
+	L := int(churn * float64(N))
+	if L < 1 {
+		L = 1
+	}
+	encs, err := ExpectedEncryptionsLeave(N, d, L)
+	if err != nil {
+		return 0, err
+	}
+	// Encryptions per packet derives packets; parity count follows rho.
+	const encPerPkt = 46
+	packets := math.Ceil(encs / encPerPkt)
+	blocks := math.Ceil(packets / float64(k))
+	parity := blocks * math.Ceil((rho-1)*float64(k))
+	fec := parity * float64(k) * c.ParityPerBlockByte
+	return c.Sign + encs*c.Wrap + fec, nil
+}
+
+// MaxGroupSize returns the largest group size N (a power of d) whose
+// per-message processing fits within the rekey interval, assuming a
+// fraction churn of the group leaves per interval.
+func MaxGroupSize(c Costs, d int, churn float64, k int, rho float64, interval float64) (int, error) {
+	best := 0
+	for N := d; ; N *= d {
+		w, err := ServerWork(c, N, d, churn, k, rho)
+		if err != nil {
+			return 0, err
+		}
+		if w > interval {
+			return best, nil
+		}
+		best = N
+		if N > 1<<30 {
+			return best, nil
+		}
+	}
+}

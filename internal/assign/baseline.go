@@ -1,0 +1,59 @@
+package assign
+
+import (
+	"fmt"
+
+	"repro/internal/keytree"
+)
+
+// BaselinePlan is the output of the encryption-oriented baseline
+// assignment: encryptions are packed into packets in generation order
+// with no regard to users, so a user's encryptions can straddle several
+// packets. It exists as the comparison point motivating UKA: the
+// probability that a user receives all of its packets in one round
+// drops with every extra packet it depends on.
+type BaselinePlan struct {
+	// Packets[i] lists the encryption IDs in packet i.
+	Packets [][]uint32
+	// UserPackets maps each user node ID to the (possibly several)
+	// packets it needs.
+	UserPackets map[int][]int
+}
+
+// BuildBaseline packs encryptions sequentially ("encryption-oriented
+// assignment"), capacity encryptions per packet. Unlike UKA it sends no
+// duplicates -- its entry count is exactly the rekey subtree size --
+// but users may need up to tree-height packets.
+func BuildBaseline(res *keytree.BatchResult, capacity int) (*BaselinePlan, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("assign: capacity %d, must be positive", capacity)
+	}
+	plan := &BaselinePlan{UserPackets: make(map[int][]int)}
+	where := make(map[uint32]int, len(res.Encryptions))
+	var cur []uint32
+	for _, e := range res.Encryptions {
+		if len(cur) == capacity {
+			plan.Packets = append(plan.Packets, cur)
+			cur = nil
+		}
+		where[e.ID] = len(plan.Packets)
+		cur = append(cur, e.ID)
+	}
+	if len(cur) > 0 {
+		plan.Packets = append(plan.Packets, cur)
+	}
+	for _, u := range res.UserIDs {
+		seen := map[int]bool{}
+		for _, id := range res.UserNeedIDs(u) {
+			pi, ok := where[id]
+			if !ok {
+				return nil, fmt.Errorf("assign: encryption %d missing from baseline plan", id)
+			}
+			if !seen[pi] {
+				seen[pi] = true
+				plan.UserPackets[u] = append(plan.UserPackets[u], pi)
+			}
+		}
+	}
+	return plan, nil
+}

@@ -1,0 +1,115 @@
+// Package e2e integration-tests the keyserverd and memberd binaries:
+// it builds them, starts a key server with a short rekey interval, has
+// several members register over the control port, and waits for every
+// member to print a derived group key.
+package e2e
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func build(t *testing.T, dir, pkg, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// internal/e2e -> repo root
+	return filepath.Dir(filepath.Dir(wd))
+}
+
+func TestDaemonsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary integration test")
+	}
+	dir := t.TempDir()
+	serverBin := build(t, dir, "./cmd/keyserverd", "keyserverd")
+	memberBin := build(t, dir, "./cmd/memberd", "memberd")
+
+	ctl := "127.0.0.1:17701"
+	srv := exec.Command(serverBin, "-ctl", ctl, "-udp", "127.0.0.1:0", "-interval", "400ms", "-seed", "7")
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+
+	// Learn the transport UDP address from the startup log line.
+	udpRe := regexp.MustCompile(`transport on (\S+),`)
+	var udpAddr string
+	sc := bufio.NewScanner(stderr)
+	deadline := time.After(10 * time.Second)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if m := udpRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case udpAddr = <-addrCh:
+	case <-deadline:
+		t.Fatal("keyserverd did not log its transport address")
+	}
+
+	const members = 3
+	var wg sync.WaitGroup
+	errs := make([]error, members)
+	outs := make([]string, members)
+	for i := 0; i < members; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cmd := exec.Command(memberBin,
+				"-id", fmt.Sprint(i+1), "-ctl", ctl, "-server-udp", udpAddr, "-once")
+			out, err := cmd.CombinedOutput()
+			outs[i], errs[i] = string(out), err
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("members did not finish within 30s")
+	}
+	for i := 0; i < members; i++ {
+		if errs[i] != nil {
+			t.Fatalf("member %d: %v\n%s", i+1, errs[i], outs[i])
+		}
+		if !strings.Contains(outs[i], "group key key(") {
+			t.Fatalf("member %d never printed a group key:\n%s", i+1, outs[i])
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+func TestAblationsRun(t *testing.T) {
+	figs, err := runAblUKA(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline must fail strictly more often than UKA at alpha=0.2.
+	var uka, base float64
+	for _, s := range figs[0].Series {
+		for _, p := range s.Points {
+			if p.X == 0.2 {
+				if s.Label == "UKA" {
+					uka = p.Y
+				} else {
+					base = p.Y
+				}
+			}
+		}
+	}
+	if base <= uka {
+		t.Fatalf("baseline failure %.4f not worse than UKA %.4f", base, uka)
+	}
+	// And the baseline must send fewer packets (no duplication).
+	var ukaPk, basePk float64
+	for _, s := range figs[1].Series {
+		for _, p := range s.Points {
+			if p.X == 0.2 {
+				if s.Label == "UKA" {
+					ukaPk = p.Y
+				} else {
+					basePk = p.Y
+				}
+			}
+		}
+	}
+	if basePk > ukaPk {
+		t.Fatalf("baseline packets %.1f exceed UKA %.1f", basePk, ukaPk)
+	}
+
+	if _, err := runAblInterleave(quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import "testing"
+
+func TestBatchVsIndividual(t *testing.T) {
+	figs, err := runBatchVsIndividual(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := figs[0]
+	var batch, indiv *[]float64
+	for _, s := range enc.Series {
+		vals := ys(s)
+		if s.Label == "batch" {
+			batch = &vals
+		} else {
+			indiv = &vals
+		}
+	}
+	if batch == nil || indiv == nil {
+		t.Fatal("missing series")
+	}
+	for i := range *batch {
+		if (*batch)[i] >= (*indiv)[i] {
+			t.Fatalf("point %d: batch %.0f not cheaper than individual %.0f",
+				i, (*batch)[i], (*indiv)[i])
+		}
+	}
+	// At 25% churn the saving should be large (>2x).
+	last := len(*batch) - 1
+	if (*indiv)[last]/(*batch)[last] < 2 {
+		t.Fatalf("saving at high churn only %.1fx", (*indiv)[last]/(*batch)[last])
+	}
+}
+
+func TestDegreeSweep(t *testing.T) {
+	figs, err := runDegreeSweep(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	encs := series(t, figs, 0, "encryptions")
+	byD := map[float64]float64{}
+	for _, p := range encs.Points {
+		byD[p.X] = p.Y
+	}
+	// d=16 must cost more encryptions than d=4 (wide updates), and d=2
+	// more than d=4 (tall trees) -- the d~4 sweet spot.
+	if byD[4] >= byD[16] {
+		t.Fatalf("d=4 (%.0f) not cheaper than d=16 (%.0f)", byD[4], byD[16])
+	}
+	if byD[4] >= byD[2] {
+		t.Fatalf("d=4 (%.0f) not cheaper than d=2 (%.0f)", byD[4], byD[2])
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/fec"
+	"repro/internal/keys"
+	"repro/internal/packet"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "a-server-capacity",
+		Paper: "companion analysis (SIGCOMM 2001)",
+		Desc:  "max sustainable group size vs rekey interval, from measured sign/wrap/FEC costs",
+		Run:   runCapacity,
+	})
+}
+
+// MeasureCosts times the key server's unit operations on this machine:
+// one RSA-1024 signature per message, one AES key wrap per encryption,
+// and Reed-Solomon parity generation (normalised per parity packet per
+// unit of block size).
+func MeasureCosts() (analysis.Costs, error) {
+	var c analysis.Costs
+	c.PacketLen = packet.PacketLen
+
+	signer, err := keys.NewSigner(1024)
+	if err != nil {
+		return c, err
+	}
+	msg := make([]byte, packet.PacketLen)
+	const signReps = 20
+	start := time.Now()
+	for i := 0; i < signReps; i++ {
+		if _, err := signer.Sign(msg); err != nil {
+			return c, err
+		}
+	}
+	c.Sign = time.Since(start).Seconds() / signReps
+
+	g := keys.NewDeterministicGenerator(1)
+	outer, inner := g.MustNewKey(), g.MustNewKey()
+	const wrapReps = 20000
+	start = time.Now()
+	for i := 0; i < wrapReps; i++ {
+		keys.Wrap(outer, inner)
+	}
+	c.Wrap = time.Since(start).Seconds() / wrapReps
+
+	const k = 10
+	coder, err := fec.NewCoder(k, k)
+	if err != nil {
+		return c, err
+	}
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, packet.ParityPayloadLen)
+		for j := range data[i] {
+			data[i][j] = byte(i + j)
+		}
+	}
+	const fecReps = 500
+	start = time.Now()
+	for i := 0; i < fecReps; i++ {
+		if _, err := coder.Parity(data, i%k); err != nil {
+			return c, err
+		}
+	}
+	perParity := time.Since(start).Seconds() / fecReps
+	c.ParityPerBlockByte = perParity / k
+	return c, nil
+}
+
+func runCapacity(o Options) ([]*stats.Figure, error) {
+	costs, err := MeasureCosts()
+	if err != nil {
+		return nil, err
+	}
+	fig := &stats.Figure{
+		ID: "A-CAP",
+		Title: fmt.Sprintf("max group size vs rekey interval (d=4, L=N/4, k=10, rho=1.5; measured: sign=%.2gs wrap=%.2gs parity/k=%.2gs)",
+			costs.Sign, costs.Wrap, costs.ParityPerBlockByte),
+		XLabel: "rekey interval (s)",
+		YLabel: "max group size N",
+	}
+	s := fig.NewSeries("key server capacity")
+	intervals := []float64{0.1, 1, 10, 60, 300}
+	if o.Quick {
+		intervals = []float64{1, 60}
+	}
+	for _, iv := range intervals {
+		n, err := analysis.MaxGroupSize(costs, 4, 0.25, 10, 1.5, iv)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(iv, float64(n))
+	}
+	return []*stats.Figure{fig}, nil
+}

@@ -1,0 +1,214 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation: each registered experiment runs the workload the paper
+// describes and emits the same series the paper plots, as stats.Figure
+// values that cmd/rekeybench renders as text tables.
+//
+// See DESIGN.md for the experiment index (figure -> modules -> runner).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options control experiment scale. The zero value is replaced by
+// Defaults(); Quick shrinks sweeps so the full suite runs in CI time.
+type Options struct {
+	// Messages is the number of rekey messages (or trials) per
+	// configuration point.
+	Messages int
+	// Seed drives all randomness.
+	Seed uint64
+	// Quick shrinks group sizes and sweep ranges for fast runs.
+	Quick bool
+}
+
+// Defaults returns the paper-scale options.
+func Defaults() Options { return Options{Messages: 25, Seed: 1} }
+
+func (o Options) fill() Options {
+	if o.Messages <= 0 {
+		if o.Quick {
+			o.Messages = 6
+		} else {
+			o.Messages = 25
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Runner executes one experiment.
+type Runner func(Options) ([]*stats.Figure, error)
+
+// Experiment is a registered, runnable reproduction of one paper figure
+// (or analysis table).
+type Experiment struct {
+	ID    string // e.g. "f9-nacks-vs-rho"
+	Paper string // the figure/table it regenerates, e.g. "Fig. 9 (left)"
+	Desc  string
+	Run   Runner
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Fprint renders a figure as an aligned text table: one block per
+// series, rows of "x<TAB>y".
+func Fprint(w io.Writer, f *stats.Figure) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	if f.XLabel != "" || f.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "# x: %s, y: %s\n", f.XLabel, f.YLabel); err != nil {
+			return err
+		}
+	}
+	for _, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "\n[%s]\n", s.Label); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%g\t%g\n", p.X, p.Y); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// transportConfig bundles the knobs of one transport run.
+type transportConfig struct {
+	N         int // pre-batch group size
+	J, L      int // churn per message (L defaults to N/4 when both zero)
+	K         int
+	Alpha     float64
+	Rho       float64
+	Adaptive  bool
+	NumNACK   int
+	MaxNACK   int
+	AdaptNACK bool
+	MaxMcast  int // 0 = multicast until done
+	Deadline  int
+	EarlyUni  bool
+	Messages  int
+	Seed      uint64
+	// sequential disables interleaving (ablation only).
+	sequential bool
+}
+
+func (tc transportConfig) fill() transportConfig {
+	if tc.K == 0 {
+		tc.K = 10
+	}
+	if tc.Rho == 0 {
+		tc.Rho = 1
+	}
+	if tc.NumNACK == 0 {
+		tc.NumNACK = 20
+	}
+	if tc.MaxNACK == 0 {
+		tc.MaxNACK = 100
+	}
+	if tc.J == 0 && tc.L == 0 {
+		tc.L = tc.N / 4
+	}
+	return tc
+}
+
+// runTransport executes Messages rekey messages and returns their
+// metrics. Each message applies an independent (J,L) batch to the same
+// pristine N-user tree, the paper's stationary workload.
+func runTransport(tc transportConfig) ([]*protocol.Metrics, error) {
+	tc = tc.fill()
+	gen, err := workload.NewGenerator(tc.N, 4, tc.K, tc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	star := netsim.StarConfig{
+		N:     gen.PostBatchUsers(tc.J, tc.L),
+		Alpha: tc.Alpha, PHigh: 0.20, PLow: 0.02, PSource: 0.01,
+		Seed: tc.Seed ^ 0xfeed,
+	}
+	net, err := netsim.NewStar(star)
+	if err != nil {
+		return nil, err
+	}
+	cfg := protocol.DefaultConfig()
+	cfg.K = tc.K
+	cfg.InitialRho = tc.Rho
+	cfg.AdaptiveRho = tc.Adaptive
+	cfg.NumNACK = tc.NumNACK
+	if cfg.NumNACK < 0 {
+		cfg.NumNACK = 0 // -1 is the sweep sentinel for a zero target
+	}
+	cfg.MaxNACK = tc.MaxNACK
+	cfg.AdaptNumNACK = tc.AdaptNACK
+	cfg.MaxMulticastRounds = tc.MaxMcast
+	cfg.DeadlineRounds = tc.Deadline
+	cfg.EarlyUnicast = tc.EarlyUni
+	cfg.SequentialSend = tc.sequential
+	sess, err := protocol.NewSession(cfg, net, tc.Seed^0xbeef)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*protocol.Metrics, 0, tc.Messages)
+	for i := 0; i < tc.Messages; i++ {
+		res, plan, err := gen.Batch(tc.J, tc.L)
+		if err != nil {
+			return nil, err
+		}
+		msg, err := protocol.BuildMessage(res, plan, tc.K, 4)
+		if err != nil {
+			return nil, err
+		}
+		met, err := sess.Run(msg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, met)
+	}
+	return out, nil
+}
+
+// meanOver computes the mean of a metric over messages, optionally
+// skipping a warmup prefix.
+func meanOver(ms []*protocol.Metrics, warmup int, f func(*protocol.Metrics) float64) float64 {
+	var acc stats.Accumulator
+	for i, m := range ms {
+		if i < warmup {
+			continue
+		}
+		acc.Add(f(m))
+	}
+	return acc.Mean()
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func quickOpts() Options { return Options{Quick: true, Messages: 5, Seed: 3} }
+
+func TestRegistryComplete(t *testing.T) {
+	// Every figure of the paper's evaluation must have a registered
+	// regenerator (see DESIGN.md experiment index).
+	want := []string{
+		"f6-enc-grid", "f6-enc-vs-n", "f7-dup-grid", "f7-dup-vs-n",
+		"f8-bw-vs-k", "f8-enctime-vs-k",
+		"f9-nacks-vs-rho", "f9-rounds-vs-rho",
+		"f10-user-rounds", "f10-bw-vs-rho",
+		"f12-rho-trace", "f13-nack-trace", "f14-nack-target-sweep",
+		"f15-nack-vs-k", "f16-bw-vs-k-alpha", "f16-bw-vs-k-n",
+		"f17-server-rounds", "f17-user-rounds",
+		"f18-latency-vs-numnack", "f18-bw-vs-numnack",
+		"f19-adaptive-extra-alpha", "f20-adaptive-extra-n",
+		"f21-deadline-trace",
+		"a-enc-analysis", "a-server-capacity",
+		"a-batch-vs-individual", "a-degree-sweep",
+		"abl-uka-baseline", "abl-interleave",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Errorf("registry holds %d experiments, want >= %d", len(All()), len(want))
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown ID found")
+	}
+}
+
+func series(t *testing.T, figs []*stats.Figure, figIdx int, label string) *stats.Series {
+	t.Helper()
+	if figIdx >= len(figs) {
+		t.Fatalf("only %d figures", len(figs))
+	}
+	for _, s := range figs[figIdx].Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("series %q missing from %s", label, figs[figIdx].ID)
+	return nil
+}
+
+func ys(s *stats.Series) []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Y
+	}
+	return out
+}
+
+func TestF6GridShape(t *testing.T) {
+	figs, err := runF6Grid(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More joins => more packets, at fixed L (linear growth in J).
+	n := 1024
+	loJ := series(t, figs, 0, "J=0")
+	hiJ := series(t, figs, 0, "J=1024")
+	for i := range loJ.Points {
+		if hiJ.Points[i].Y < loJ.Points[i].Y {
+			t.Fatalf("J=%d packets fewer than J=0 at L=%g", n, loJ.Points[i].X)
+		}
+	}
+	// At J=0, packets rise then fall in L (peak near N/d).
+	y := ys(loJ)
+	if !(y[1] > y[0] && y[len(y)-1] < y[1]) {
+		t.Fatalf("no rise-then-fall in L at J=0: %v", y)
+	}
+}
+
+func TestF6VsNShape(t *testing.T) {
+	figs, err := runF6VsN(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := series(t, figs, 0, "J=0, L=N/4")
+	y := ys(s)
+	for i := 1; i < len(y); i++ {
+		if y[i] <= y[i-1] {
+			t.Fatalf("packets not increasing in N: %v", y)
+		}
+	}
+	// Roughly linear in N: quadrupling N should roughly quadruple
+	// packets (allow a factor-2 band).
+	last, prev := y[len(y)-1], y[len(y)-2]
+	if r := last / math.Max(prev, 1); r < 2 || r > 8 {
+		t.Fatalf("growth ratio %v not ~4", r)
+	}
+}
+
+func TestF7Shapes(t *testing.T) {
+	figs, err := runF7VsN(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := series(t, figs, 0, "J=0, L=N/4")
+	y := ys(s)
+	// Duplication overhead grows with N and respects the paper's bound
+	// (log_d(N)-1)/46 for the balanced workloads.
+	for i, p := range s.Points {
+		bound := (math.Log(p.X)/math.Log(4) - 1 + 0.5) / 46 // slack half-level
+		if y[i] > bound {
+			t.Fatalf("N=%g: duplication %.4f above bound %.4f", p.X, y[i], bound)
+		}
+	}
+	if y[len(y)-1] <= y[0] {
+		t.Fatalf("duplication overhead not growing with N: %v", y)
+	}
+}
+
+func TestF8BandwidthFlatForMidK(t *testing.T) {
+	figs, err := runF8Bandwidth(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := series(t, figs, 0, "alpha=0.2")
+	var k1, k10, k50 float64
+	for _, p := range s.Points {
+		switch p.X {
+		case 1:
+			k1 = p.Y
+		case 10:
+			k10 = p.Y
+		case 50:
+			k50 = p.Y
+		}
+	}
+	if k10 <= 1.0 {
+		t.Fatalf("k=10 overhead %.2f <= 1", k10)
+	}
+	// k=1 needs at least as much as k=10 (finer blocks recover fewer
+	// users per parity packet); k=50 pays last-block duplication.
+	if k1 < k10*0.95 {
+		t.Fatalf("k=1 overhead %.2f below k=10 %.2f", k1, k10)
+	}
+	if k50 < k10 {
+		t.Fatalf("k=50 overhead %.2f below k=10 %.2f (no duplication bump)", k50, k10)
+	}
+}
+
+func TestF9NACKsDropWithRho(t *testing.T) {
+	figs, err := runF9NACKs(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := series(t, figs, 0, "alpha=0.2")
+	y := ys(s)
+	if y[0] < 10 {
+		t.Fatalf("rho=1 NACKs %.1f suspiciously low", y[0])
+	}
+	if y[len(y)-1] > y[0]/10 {
+		t.Fatalf("NACKs did not drop steeply: %v", y)
+	}
+}
+
+func TestF10UserRoundsMassInRound1(t *testing.T) {
+	figs, err := runF10UserRounds(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := series(t, figs, 0, "rho=1")
+	if s.Points[0].Y < 0.94 {
+		t.Fatalf("rho=1 round-1 fraction %.4f < 0.94", s.Points[0].Y)
+	}
+	s2 := series(t, figs, 0, "rho=2")
+	if s2.Points[0].Y < s.Points[0].Y {
+		t.Fatalf("rho=2 fraction %.4f below rho=1 %.4f", s2.Points[0].Y, s.Points[0].Y)
+	}
+}
+
+func TestF12RhoSettles(t *testing.T) {
+	figs, err := runF12RhoTrace(Options{Quick: true, Messages: 12, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From rho=2, the trajectory must come down for alpha=0.2.
+	var fig2 *stats.Figure
+	for _, f := range figs {
+		if strings.Contains(f.ID, "init2") {
+			fig2 = f
+		}
+	}
+	if fig2 == nil {
+		t.Fatal("missing init rho=2 figure")
+	}
+	for _, s := range fig2.Series {
+		if s.Label != "alpha=0.2" {
+			continue
+		}
+		first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+		if last >= first {
+			t.Fatalf("rho did not decrease from 2: first=%v last=%v", first, last)
+		}
+	}
+}
+
+func TestF21MissesDecline(t *testing.T) {
+	figs, err := runF21(Options{Quick: true, Messages: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("%d figures, want 2", len(figs))
+	}
+	st := figs[1].Series[0]
+	first, last := st.Points[0].Y, st.Points[len(st.Points)-1].Y
+	if last > first {
+		t.Fatalf("numNACK grew from %v to %v despite misses", first, last)
+	}
+}
+
+func TestEncAnalysisAgreement(t *testing.T) {
+	figs, err := runEncAnalysis(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := series(t, figs, 0, "closed form")
+	sim := series(t, figs, 0, "marking algorithm (simulated)")
+	for i := range closed.Points {
+		c, s := closed.Points[i].Y, sim.Points[i].Y
+		if c == 0 && s == 0 {
+			continue
+		}
+		if math.Abs(c-s) > 0.08*c+4 {
+			t.Fatalf("L=%g: closed %v vs simulated %v", closed.Points[i].X, c, s)
+		}
+	}
+}
+
+func TestCapacityMonotone(t *testing.T) {
+	figs, err := runCapacity(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := figs[0].Series[0]
+	if len(s.Points) < 2 {
+		t.Fatal("too few points")
+	}
+	if s.Points[len(s.Points)-1].Y < s.Points[0].Y {
+		t.Fatal("capacity not increasing with interval")
+	}
+	if s.Points[len(s.Points)-1].Y < 1024 {
+		t.Fatalf("60 s interval supports only %g users", s.Points[len(s.Points)-1].Y)
+	}
+}
+
+func TestFprintFormat(t *testing.T) {
+	fig := &stats.Figure{ID: "X", Title: "demo", XLabel: "k", YLabel: "y"}
+	s := fig.NewSeries("a")
+	s.Add(1, 2.5)
+	var buf bytes.Buffer
+	if err := Fprint(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"## X — demo", "[a]", "1\t2.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,482 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{ID: "f8-bw-vs-k", Paper: "Fig. 8 (left)", Desc: "server bandwidth overhead vs block size k, rho=1", Run: runF8Bandwidth})
+	register(Experiment{ID: "f8-enctime-vs-k", Paper: "Fig. 8 (right)", Desc: "relative overall FEC encoding time vs block size k, rho=1", Run: runF8EncTime})
+	register(Experiment{ID: "f9-nacks-vs-rho", Paper: "Fig. 9 (left)", Desc: "average first-round NACKs vs proactivity factor", Run: runF9NACKs})
+	register(Experiment{ID: "f9-rounds-vs-rho", Paper: "Fig. 9 (right)", Desc: "average rounds for all users to receive vs proactivity factor", Run: runF9Rounds})
+	register(Experiment{ID: "f10-user-rounds", Paper: "Fig. 10 (left)", Desc: "fraction of users needing a given number of rounds", Run: runF10UserRounds})
+	register(Experiment{ID: "f10-bw-vs-rho", Paper: "Fig. 10 (right)", Desc: "average server bandwidth overhead vs proactivity factor", Run: runF10Bandwidth})
+	register(Experiment{ID: "f12-rho-trace", Paper: "Fig. 12", Desc: "adaptive proactivity factor trajectory over rekey messages", Run: runF12RhoTrace})
+	register(Experiment{ID: "f13-nack-trace", Paper: "Fig. 13", Desc: "first-round NACKs per rekey message under adaptive rho", Run: runF13NACKTrace})
+	register(Experiment{ID: "f14-nack-target-sweep", Paper: "Fig. 14", Desc: "NACK traces for different numNACK targets", Run: runF14TargetSweep})
+	register(Experiment{ID: "f15-nack-vs-k", Paper: "Fig. 15", Desc: "NACK traces for different block sizes under adaptive rho", Run: runF15NACKvsK})
+	register(Experiment{ID: "f16-bw-vs-k-alpha", Paper: "Fig. 16 (left)", Desc: "bandwidth overhead vs k under adaptive rho, per alpha", Run: runF16Alpha})
+	register(Experiment{ID: "f16-bw-vs-k-n", Paper: "Fig. 16 (right)", Desc: "bandwidth overhead vs k under adaptive rho, per group size", Run: runF16N})
+	register(Experiment{ID: "f17-server-rounds", Paper: "Fig. 17 (left)", Desc: "average rounds for all users vs k, adaptive rho", Run: runF17Server})
+	register(Experiment{ID: "f17-user-rounds", Paper: "Fig. 17 (right)", Desc: "average rounds needed by a user vs k, adaptive rho", Run: runF17User})
+	register(Experiment{ID: "f18-latency-vs-numnack", Paper: "Fig. 18 (left)", Desc: "average user rounds vs numNACK", Run: runF18Latency})
+	register(Experiment{ID: "f18-bw-vs-numnack", Paper: "Fig. 18 (right)", Desc: "average server bandwidth overhead vs numNACK", Run: runF18Bandwidth})
+	register(Experiment{ID: "f19-adaptive-extra-alpha", Paper: "Fig. 19", Desc: "extra bandwidth of adaptive rho vs rho=1, per alpha", Run: runF19})
+	register(Experiment{ID: "f20-adaptive-extra-n", Paper: "Fig. 20", Desc: "extra bandwidth of adaptive rho vs rho=1, per group size", Run: runF20})
+	register(Experiment{ID: "f21-deadline-trace", Paper: "Fig. 21", Desc: "deadline misses and numNACK adaptation over 100 messages", Run: runF21})
+}
+
+func alphaSweep(quick bool) []float64 {
+	if quick {
+		return []float64{0, 0.2}
+	}
+	return []float64{0, 0.2, 0.4, 1.0}
+}
+
+func kSweep(quick bool) []int {
+	if quick {
+		return []int{1, 10, 50}
+	}
+	return []int{1, 2, 5, 10, 15, 20, 30, 40, 50}
+}
+
+func rhoSweep(quick bool) []float64 {
+	if quick {
+		return []float64{1.0, 1.6, 2.2, 3.0}
+	}
+	return []float64{1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.6, 3.0}
+}
+
+func defaultN(quick bool) int {
+	if quick {
+		return 1024
+	}
+	return 4096
+}
+
+// warmup is how many leading messages adaptive-rho averages skip so the
+// controller has settled (Fig. 12 shows settling within ~5 messages).
+const warmup = 5
+
+func runF8Bandwidth(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	fig := &stats.Figure{ID: "F8l", Title: fmt.Sprintf("server bandwidth overhead vs k (rho=1, N=%d, L=N/4)", n), XLabel: "k", YLabel: "avg server bandwidth overhead"}
+	for _, alpha := range alphaSweep(o.Quick) {
+		s := fig.NewSeries(fmt.Sprintf("alpha=%g", alpha))
+		for _, k := range kSweep(o.Quick) {
+			ms, err := runTransport(transportConfig{N: n, K: k, Alpha: alpha, Rho: 1, Messages: o.Messages, Seed: o.Seed})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(k), meanOver(ms, 0, (*protocol.Metrics).BandwidthOverhead))
+		}
+	}
+	return []*stats.Figure{fig}, nil
+}
+
+func runF8EncTime(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	fig := &stats.Figure{ID: "F8r", Title: fmt.Sprintf("relative FEC encoding time vs k (rho=1, N=%d): k time units per parity packet", n), XLabel: "k", YLabel: "relative encoding time"}
+	for _, alpha := range alphaSweep(o.Quick) {
+		s := fig.NewSeries(fmt.Sprintf("alpha=%g", alpha))
+		for _, k := range kSweep(o.Quick) {
+			ms, err := runTransport(transportConfig{N: n, K: k, Alpha: alpha, Rho: 1, Messages: o.Messages, Seed: o.Seed})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(k), meanOver(ms, 0, func(m *protocol.Metrics) float64 {
+				return float64(m.ParitySent * k)
+			}))
+		}
+	}
+	return []*stats.Figure{fig}, nil
+}
+
+func runF9NACKs(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	fig := &stats.Figure{ID: "F9l", Title: fmt.Sprintf("average first-round NACKs vs rho (N=%d, k=10)", n), XLabel: "proactivity factor", YLabel: "avg # NACKs (round 1)"}
+	for _, alpha := range alphaSweep(o.Quick) {
+		s := fig.NewSeries(fmt.Sprintf("alpha=%g", alpha))
+		for _, rho := range rhoSweep(o.Quick) {
+			ms, err := runTransport(transportConfig{N: n, Alpha: alpha, Rho: rho, Messages: o.Messages, Seed: o.Seed})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(rho, meanOver(ms, 0, func(m *protocol.Metrics) float64 { return float64(m.Round1NACKs) }))
+		}
+	}
+	return []*stats.Figure{fig}, nil
+}
+
+func runF9Rounds(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	fig := &stats.Figure{ID: "F9r", Title: fmt.Sprintf("average rounds until all users recover vs rho (N=%d, k=10)", n), XLabel: "proactivity factor", YLabel: "avg # server rounds"}
+	for _, alpha := range alphaSweep(o.Quick) {
+		s := fig.NewSeries(fmt.Sprintf("alpha=%g", alpha))
+		for _, rho := range rhoSweep(o.Quick) {
+			ms, err := runTransport(transportConfig{N: n, Alpha: alpha, Rho: rho, Messages: o.Messages, Seed: o.Seed})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(rho, meanOver(ms, 0, func(m *protocol.Metrics) float64 { return float64(m.MulticastRounds) }))
+		}
+	}
+	return []*stats.Figure{fig}, nil
+}
+
+func runF10UserRounds(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	fig := &stats.Figure{ID: "F10l", Title: fmt.Sprintf("fraction of users finishing in a given round (N=%d, alpha=20%%)", n), XLabel: "round", YLabel: "fraction of users"}
+	for _, rho := range []float64{1.0, 1.6, 2.0} {
+		ms, err := runTransport(transportConfig{N: n, Alpha: 0.2, Rho: rho, Messages: o.Messages, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		hist := map[int]int{}
+		users := 0
+		for _, m := range ms {
+			for r, c := range m.UserRoundHist {
+				hist[r] += c
+			}
+			users += m.NeededUsers
+		}
+		s := fig.NewSeries(fmt.Sprintf("rho=%g", rho))
+		for r := 1; r <= 6; r++ {
+			if users > 0 {
+				s.Add(float64(r), float64(hist[r])/float64(users))
+			}
+		}
+	}
+	return []*stats.Figure{fig}, nil
+}
+
+func runF10Bandwidth(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	fig := &stats.Figure{ID: "F10r", Title: fmt.Sprintf("average server bandwidth overhead vs rho (N=%d, k=10)", n), XLabel: "proactivity factor", YLabel: "avg server bandwidth overhead"}
+	for _, alpha := range alphaSweep(o.Quick) {
+		s := fig.NewSeries(fmt.Sprintf("alpha=%g", alpha))
+		for _, rho := range rhoSweep(o.Quick) {
+			ms, err := runTransport(transportConfig{N: n, Alpha: alpha, Rho: rho, Messages: o.Messages, Seed: o.Seed})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(rho, meanOver(ms, 0, (*protocol.Metrics).BandwidthOverhead))
+		}
+	}
+	return []*stats.Figure{fig}, nil
+}
+
+// adaptiveTrace runs an adaptive-rho session and returns per-message
+// metrics for trace figures.
+func adaptiveTrace(o Options, n int, k int, alpha float64, initRho float64, numNACK int) ([]*protocol.Metrics, error) {
+	return runTransport(transportConfig{
+		N: n, K: k, Alpha: alpha, Rho: initRho, Adaptive: true,
+		NumNACK: numNACK, Messages: o.Messages, Seed: o.Seed,
+	})
+}
+
+func runF12RhoTrace(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	var figs []*stats.Figure
+	for _, initRho := range []float64{1.0, 2.0} {
+		fig := &stats.Figure{ID: fmt.Sprintf("F12-init%g", initRho), Title: fmt.Sprintf("adaptive rho trajectory, initial rho=%g (N=%d, numNACK=20)", initRho, n), XLabel: "rekey message ID", YLabel: "proactivity factor"}
+		for _, alpha := range alphaSweep(o.Quick) {
+			ms, err := adaptiveTrace(o, n, 10, alpha, initRho, 20)
+			if err != nil {
+				return nil, err
+			}
+			s := fig.NewSeries(fmt.Sprintf("alpha=%g", alpha))
+			for i, m := range ms {
+				s.Add(float64(i), m.RhoUsed)
+			}
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+func runF13NACKTrace(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	var figs []*stats.Figure
+	for _, initRho := range []float64{1.0, 2.0} {
+		fig := &stats.Figure{ID: fmt.Sprintf("F13-init%g", initRho), Title: fmt.Sprintf("first-round NACKs per message, initial rho=%g (N=%d, numNACK=20)", initRho, n), XLabel: "rekey message ID", YLabel: "# NACKs (round 1)"}
+		for _, alpha := range alphaSweep(o.Quick) {
+			ms, err := adaptiveTrace(o, n, 10, alpha, initRho, 20)
+			if err != nil {
+				return nil, err
+			}
+			s := fig.NewSeries(fmt.Sprintf("alpha=%g", alpha))
+			for i, m := range ms {
+				s.Add(float64(i), float64(m.Round1NACKs))
+			}
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+func runF14TargetSweep(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	targets := []int{0, 5, 10, 40, 100}
+	if o.Quick {
+		targets = []int{0, 10, 100}
+	}
+	var figs []*stats.Figure
+	for _, initRho := range []float64{1.0, 2.0} {
+		fig := &stats.Figure{ID: fmt.Sprintf("F14-init%g", initRho), Title: fmt.Sprintf("first-round NACKs per message for numNACK targets, initial rho=%g (N=%d, alpha=20%%)", initRho, n), XLabel: "rekey message ID", YLabel: "# NACKs (round 1)"}
+		for _, target := range targets {
+			tc := transportConfig{N: n, Alpha: 0.2, Rho: initRho, Adaptive: true, NumNACK: target, Messages: o.Messages, Seed: o.Seed}
+			if target == 0 {
+				// fill() treats 0 as unset; -1 sentinel is mapped here.
+				tc.NumNACK = -1
+			}
+			ms, err := runTransport(tc)
+			if err != nil {
+				return nil, err
+			}
+			s := fig.NewSeries(fmt.Sprintf("numNACK=%d", target))
+			for i, m := range ms {
+				s.Add(float64(i), float64(m.Round1NACKs))
+			}
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+func runF15NACKvsK(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	ks := []int{1, 5, 10, 30, 50}
+	if o.Quick {
+		ks = []int{1, 10, 50}
+	}
+	var figs []*stats.Figure
+	for _, initRho := range []float64{1.0, 2.0} {
+		fig := &stats.Figure{ID: fmt.Sprintf("F15-init%g", initRho), Title: fmt.Sprintf("first-round NACKs per message for block sizes, initial rho=%g (N=%d, alpha=20%%, numNACK=20)", initRho, n), XLabel: "rekey message ID", YLabel: "# NACKs (round 1)"}
+		for _, k := range ks {
+			ms, err := adaptiveTrace(o, n, k, 0.2, initRho, 20)
+			if err != nil {
+				return nil, err
+			}
+			s := fig.NewSeries(fmt.Sprintf("k=%d", k))
+			for i, m := range ms {
+				s.Add(float64(i), float64(m.Round1NACKs))
+			}
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+func runF16Alpha(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	fig := &stats.Figure{ID: "F16l", Title: fmt.Sprintf("bandwidth overhead vs k, adaptive rho (N=%d, numNACK=20)", n), XLabel: "k", YLabel: "avg server bandwidth overhead"}
+	for _, alpha := range alphaSweep(o.Quick) {
+		s := fig.NewSeries(fmt.Sprintf("alpha=%g", alpha))
+		for _, k := range kSweep(o.Quick) {
+			ms, err := adaptiveTrace(o, n, k, alpha, 1.0, 20)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(k), meanOver(ms, warmup, (*protocol.Metrics).BandwidthOverhead))
+		}
+	}
+	return []*stats.Figure{fig}, nil
+}
+
+func runF16N(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	ns := []int{1024, 4096, 8192, 16384}
+	if o.Quick {
+		ns = []int{1024, 4096}
+	}
+	fig := &stats.Figure{ID: "F16r", Title: "bandwidth overhead vs k, adaptive rho (alpha=20%, numNACK=20)", XLabel: "k", YLabel: "avg server bandwidth overhead"}
+	for _, n := range ns {
+		s := fig.NewSeries(fmt.Sprintf("N=%d", n))
+		for _, k := range kSweep(o.Quick) {
+			ms, err := adaptiveTrace(o, n, k, 0.2, 1.0, 20)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(k), meanOver(ms, warmup, (*protocol.Metrics).BandwidthOverhead))
+		}
+	}
+	return []*stats.Figure{fig}, nil
+}
+
+func runF17Server(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	fig := &stats.Figure{ID: "F17l", Title: fmt.Sprintf("average rounds for all users vs k, adaptive rho (N=%d, numNACK=20)", n), XLabel: "k", YLabel: "avg # server rounds"}
+	for _, alpha := range alphaSweep(o.Quick) {
+		s := fig.NewSeries(fmt.Sprintf("alpha=%g", alpha))
+		for _, k := range kSweep(o.Quick) {
+			ms, err := adaptiveTrace(o, n, k, alpha, 1.0, 20)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(k), meanOver(ms, warmup, func(m *protocol.Metrics) float64 { return float64(m.MulticastRounds) }))
+		}
+	}
+	return []*stats.Figure{fig}, nil
+}
+
+func runF17User(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	fig := &stats.Figure{ID: "F17r", Title: fmt.Sprintf("average rounds needed by a user vs k, adaptive rho (N=%d, numNACK=20)", n), XLabel: "k", YLabel: "avg # rounds per user"}
+	for _, alpha := range alphaSweep(o.Quick) {
+		s := fig.NewSeries(fmt.Sprintf("alpha=%g", alpha))
+		for _, k := range kSweep(o.Quick) {
+			ms, err := adaptiveTrace(o, n, k, alpha, 1.0, 20)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(k), meanOver(ms, warmup, (*protocol.Metrics).AvgUserRounds))
+		}
+	}
+	return []*stats.Figure{fig}, nil
+}
+
+func numNACKSweep(quick bool) []int {
+	if quick {
+		return []int{-1, 20, 100}
+	}
+	return []int{-1, 5, 10, 20, 40, 60, 80, 100}
+}
+
+func runF18Latency(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	fig := &stats.Figure{ID: "F18l", Title: fmt.Sprintf("average rounds needed by a user vs numNACK (N=%d, k=10)", n), XLabel: "numNACK", YLabel: "avg # rounds per user"}
+	for _, alpha := range alphaSweep(o.Quick) {
+		s := fig.NewSeries(fmt.Sprintf("alpha=%g", alpha))
+		for _, target := range numNACKSweep(o.Quick) {
+			ms, err := runTransport(transportConfig{N: n, Alpha: alpha, Rho: 1, Adaptive: true, NumNACK: target, Messages: o.Messages, Seed: o.Seed})
+			if err != nil {
+				return nil, err
+			}
+			x := float64(target)
+			if target == -1 {
+				x = 0
+			}
+			s.Add(x, meanOver(ms, warmup, (*protocol.Metrics).AvgUserRounds))
+		}
+	}
+	return []*stats.Figure{fig}, nil
+}
+
+func runF18Bandwidth(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	fig := &stats.Figure{ID: "F18r", Title: fmt.Sprintf("average server bandwidth overhead vs numNACK (N=%d, k=10)", n), XLabel: "numNACK", YLabel: "avg server bandwidth overhead"}
+	for _, alpha := range alphaSweep(o.Quick) {
+		s := fig.NewSeries(fmt.Sprintf("alpha=%g", alpha))
+		for _, target := range numNACKSweep(o.Quick) {
+			ms, err := runTransport(transportConfig{N: n, Alpha: alpha, Rho: 1, Adaptive: true, NumNACK: target, Messages: o.Messages, Seed: o.Seed})
+			if err != nil {
+				return nil, err
+			}
+			x := float64(target)
+			if target == -1 {
+				x = 0
+			}
+			s.Add(x, meanOver(ms, warmup, (*protocol.Metrics).BandwidthOverhead))
+		}
+	}
+	return []*stats.Figure{fig}, nil
+}
+
+func runF19(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	alphas := []float64{0, 0.2, 1.0}
+	if o.Quick {
+		alphas = []float64{0, 0.2}
+	}
+	fig := &stats.Figure{ID: "F19", Title: fmt.Sprintf("adaptive rho vs rho=1 bandwidth overhead (N=%d, numNACK=20)", n), XLabel: "k", YLabel: "avg server bandwidth overhead"}
+	for _, alpha := range alphas {
+		sA := fig.NewSeries(fmt.Sprintf("alpha=%g, adaptive rho", alpha))
+		sF := fig.NewSeries(fmt.Sprintf("alpha=%g, rho=1", alpha))
+		for _, k := range kSweep(o.Quick) {
+			msA, err := adaptiveTrace(o, n, k, alpha, 1.0, 20)
+			if err != nil {
+				return nil, err
+			}
+			msF, err := runTransport(transportConfig{N: n, K: k, Alpha: alpha, Rho: 1, Messages: o.Messages, Seed: o.Seed})
+			if err != nil {
+				return nil, err
+			}
+			sA.Add(float64(k), meanOver(msA, warmup, (*protocol.Metrics).BandwidthOverhead))
+			sF.Add(float64(k), meanOver(msF, warmup, (*protocol.Metrics).BandwidthOverhead))
+		}
+	}
+	return []*stats.Figure{fig}, nil
+}
+
+func runF20(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	ns := []int{1024, 8192, 16384}
+	if o.Quick {
+		ns = []int{1024, 4096}
+	}
+	fig := &stats.Figure{ID: "F20", Title: "adaptive rho vs rho=1 bandwidth overhead per group size (alpha=20%, numNACK=20)", XLabel: "k", YLabel: "avg server bandwidth overhead"}
+	for _, n := range ns {
+		sA := fig.NewSeries(fmt.Sprintf("N=%d, adaptive rho", n))
+		sF := fig.NewSeries(fmt.Sprintf("N=%d, rho=1", n))
+		for _, k := range kSweep(o.Quick) {
+			msA, err := adaptiveTrace(o, n, k, 0.2, 1.0, 20)
+			if err != nil {
+				return nil, err
+			}
+			msF, err := runTransport(transportConfig{N: n, K: k, Alpha: 0.2, Rho: 1, Messages: o.Messages, Seed: o.Seed})
+			if err != nil {
+				return nil, err
+			}
+			sA.Add(float64(k), meanOver(msA, warmup, (*protocol.Metrics).BandwidthOverhead))
+			sF.Add(float64(k), meanOver(msF, warmup, (*protocol.Metrics).BandwidthOverhead))
+		}
+	}
+	return []*stats.Figure{fig}, nil
+}
+
+func runF21(o Options) ([]*stats.Figure, error) {
+	o = o.fill()
+	n := defaultN(o.Quick)
+	messages := 100
+	if o.Quick {
+		messages = 20
+	}
+	ms, err := runTransport(transportConfig{
+		N: n, Alpha: 0.2, Rho: 1, Adaptive: true,
+		NumNACK: 200, MaxNACK: 200, AdaptNACK: true,
+		Deadline: 2, MaxMcast: 2,
+		Messages: messages, Seed: o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	misses := &stats.Figure{ID: "F21l", Title: fmt.Sprintf("users missing the 2-round deadline (N=%d, initial numNACK=200)", n), XLabel: "rekey message ID", YLabel: "# users missing deadline"}
+	target := &stats.Figure{ID: "F21r", Title: "numNACK adaptation", XLabel: "rekey message ID", YLabel: "numNACK"}
+	sm := misses.NewSeries("deadline=2 rounds")
+	st := target.NewSeries("deadline=2 rounds")
+	for i, m := range ms {
+		sm.Add(float64(i), float64(m.MissedDeadline))
+		st.Add(float64(i), float64(m.NumNACKTarget))
+	}
+	return []*stats.Figure{misses, target}, nil
+}

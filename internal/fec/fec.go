@@ -1,0 +1,206 @@
+// Package fec implements a systematic Reed-Solomon erasure code over
+// GF(2^8), the "RSE coder" the rekey transport protocol uses to produce
+// PARITY packets for each block of ENC packets.
+//
+// A Coder is configured with a block size k (number of data packets).
+// Encode produces any number m of parity packets (k+m <= 256); a receiver
+// holding ANY k of the k+m packets of a block reconstructs the k data
+// packets. This is the same maximum-distance-separable property as
+// L. Rizzo's Vandermonde-based codec used by the paper; we derive parity
+// rows from a Cauchy matrix, whose square submatrices are all invertible,
+// which makes the systematic construction direct.
+//
+// Encoding cost for one parity packet is Theta(k * packetLen), matching
+// the linear-in-k encoding-time model in the paper's Section 5.
+package fec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gf256"
+)
+
+// MaxShards is the maximum total number of packets (data + parity) in one
+// block. It is bounded by the field size.
+const MaxShards = 256
+
+// Coder encodes and decodes fixed-size packet blocks.
+// A Coder is safe for concurrent use by multiple goroutines after
+// construction: its state is read-only.
+type Coder struct {
+	k int
+	// cauchyRow(i) over data index j is 1/(x_i ^ y_j) with
+	// x_i = k + i (parity index space) and y_j = j (data index space).
+	// Rows are materialised lazily up to maxParity at construction.
+	rows [][]byte
+}
+
+// NewCoder returns a Coder for blocks of k data packets able to produce
+// up to maxParity parity packets. It returns an error if the shard
+// counts exceed the field bound.
+func NewCoder(k, maxParity int) (*Coder, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("fec: block size k = %d, must be positive", k)
+	}
+	if maxParity < 0 {
+		return nil, fmt.Errorf("fec: maxParity = %d, must be non-negative", maxParity)
+	}
+	if k+maxParity > MaxShards {
+		return nil, fmt.Errorf("fec: k+maxParity = %d exceeds %d", k+maxParity, MaxShards)
+	}
+	c := &Coder{k: k, rows: make([][]byte, maxParity)}
+	for i := range c.rows {
+		row := make([]byte, k)
+		for j := 0; j < k; j++ {
+			row[j] = gf256.Inv(byte(k+i) ^ byte(j))
+		}
+		c.rows[i] = row
+	}
+	return c, nil
+}
+
+// K returns the block size (number of data packets per block).
+func (c *Coder) K() int { return c.k }
+
+// MaxParity returns the maximum number of parity packets the Coder can
+// produce for one block.
+func (c *Coder) MaxParity() int { return len(c.rows) }
+
+// ErrShortBlock is returned by Decode when fewer than k packets of the
+// block are available.
+var ErrShortBlock = errors.New("fec: fewer than k packets available")
+
+// Parity computes parity packet number idx (0-based) for the given data
+// packets. All data packets must have equal length; the result has the
+// same length. Parity indices are stable: packet idx is the same bytes
+// regardless of how many other parity packets are generated, so the
+// server can generate additional parity packets in later rounds without
+// re-encoding earlier ones.
+func (c *Coder) Parity(data [][]byte, idx int) ([]byte, error) {
+	if err := c.checkData(data); err != nil {
+		return nil, err
+	}
+	if idx < 0 || idx >= len(c.rows) {
+		return nil, fmt.Errorf("fec: parity index %d out of range [0,%d)", idx, len(c.rows))
+	}
+	out := make([]byte, len(data[0]))
+	row := c.rows[idx]
+	for j, d := range data {
+		gf256.MulAddSlice(out, d, row[j])
+	}
+	return out, nil
+}
+
+// Encode computes parity packets [first, first+n) for the block.
+func (c *Coder) Encode(data [][]byte, first, n int) ([][]byte, error) {
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := c.Parity(data, first+i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func (c *Coder) checkData(data [][]byte) error {
+	if len(data) != c.k {
+		return fmt.Errorf("fec: got %d data packets, coder expects k=%d", len(data), c.k)
+	}
+	l := len(data[0])
+	for i, d := range data {
+		if len(d) != l {
+			return fmt.Errorf("fec: data packet %d has length %d, want %d", i, len(d), l)
+		}
+	}
+	return nil
+}
+
+// Shard is one received packet of a block: its index in the block's
+// shard space (data packets occupy [0,k), parity packet i occupies k+i)
+// and its payload.
+type Shard struct {
+	Index int
+	Data  []byte
+}
+
+// Decode reconstructs the k data packets of a block from any k received
+// shards. Extra shards beyond k are ignored. It returns ErrShortBlock if
+// fewer than k distinct shard indices are present.
+func (c *Coder) Decode(shards []Shard) ([][]byte, error) {
+	k := c.k
+	// Select k shards with distinct indices, preferring data shards
+	// (identity rows keep the decode matrix well-conditioned and cheap).
+	seen := make(map[int]bool, len(shards))
+	picked := make([]Shard, 0, k)
+	for _, s := range shards {
+		if s.Index >= 0 && s.Index < k && !seen[s.Index] {
+			seen[s.Index] = true
+			picked = append(picked, s)
+		}
+	}
+	for _, s := range shards {
+		if len(picked) == k {
+			break
+		}
+		if s.Index >= k && s.Index < k+len(c.rows) && !seen[s.Index] {
+			seen[s.Index] = true
+			picked = append(picked, s)
+		}
+	}
+	if len(picked) < k {
+		return nil, ErrShortBlock
+	}
+	var plen = len(picked[0].Data)
+	for _, s := range picked {
+		if len(s.Data) != plen {
+			return nil, fmt.Errorf("fec: shard %d has length %d, want %d", s.Index, len(s.Data), plen)
+		}
+	}
+
+	// Fast path: all k data shards present.
+	allData := true
+	for _, s := range picked {
+		if s.Index >= k {
+			allData = false
+			break
+		}
+	}
+	out := make([][]byte, k)
+	if allData {
+		for _, s := range picked {
+			out[s.Index] = append([]byte(nil), s.Data...)
+		}
+		return out, nil
+	}
+
+	// Build the k x k decode matrix whose row r is the generator row of
+	// shard picked[r], invert it, and multiply by the received payloads.
+	m := gf256.NewMatrix(k, k)
+	for r, s := range picked {
+		if s.Index < k {
+			m.Set(r, s.Index, 1)
+		} else {
+			copy(m.Row(r), c.rows[s.Index-k])
+		}
+	}
+	inv, ok := m.Invert()
+	if !ok {
+		// Cannot happen for a Cauchy code with distinct indices; guard
+		// anyway so corrupted indices fail loudly rather than silently.
+		return nil, errors.New("fec: decode matrix singular")
+	}
+	for i := 0; i < k; i++ {
+		row := inv.Row(i)
+		d := make([]byte, plen)
+		for r, coef := range row {
+			if coef != 0 {
+				gf256.MulAddSlice(d, picked[r].Data, coef)
+			}
+		}
+		out[i] = d
+	}
+	return out, nil
+}

@@ -1,0 +1,238 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8).
+//
+// The field is represented with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the same polynomial used by
+// L. Rizzo's erasure codec and by most Reed-Solomon implementations.
+// Multiplication and division are table-driven: exp/log tables are built
+// once at package init, so the hot vector operations used by the FEC
+// encoder reduce to table lookups and XORs.
+package gf256
+
+// Order is the number of elements in GF(2^8).
+const Order = 256
+
+// poly is the primitive polynomial used to generate the field,
+// x^8+x^4+x^3+x^2+1, written with the implicit x^8 term as bit 8.
+const poly = 0x11d
+
+var (
+	expTbl [2 * Order]byte // expTbl[i] = g^i, doubled to avoid a mod in Mul
+	logTbl [Order]int      // logTbl[x] = log_g(x); logTbl[0] is unused
+)
+
+func init() {
+	x := 1
+	for i := 0; i < Order-1; i++ {
+		expTbl[i] = byte(x)
+		logTbl[x] = i
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= poly
+		}
+	}
+	// Duplicate the table so Mul can index log(a)+log(b) directly.
+	for i := Order - 1; i < 2*Order; i++ {
+		expTbl[i] = expTbl[i-(Order-1)]
+	}
+}
+
+// Add returns a+b in GF(2^8). Addition and subtraction coincide (XOR).
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTbl[logTbl[a]+logTbl[b]]
+}
+
+// Exp returns g^e where g is the field generator and e may be any
+// non-negative integer.
+func Exp(e int) byte { return expTbl[e%(Order-1)] }
+
+// Log returns log_g(x). It panics if x is zero, which has no logarithm.
+func Log(x byte) int {
+	if x == 0 {
+		panic("gf256: log of zero")
+	}
+	return logTbl[x]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a is zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTbl[Order-1-logTbl[a]]
+}
+
+// Div returns a/b. It panics if b is zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTbl[logTbl[a]+Order-1-logTbl[b]]
+}
+
+// MulSlice sets dst[i] = c*src[i] for all i. dst and src must have the
+// same length; they may alias.
+func MulSlice(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	lc := logTbl[c]
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = expTbl[lc+logTbl[s]]
+		}
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c*src[i] for all i: a fused
+// multiply-accumulate, the inner loop of Reed-Solomon encoding.
+func MulAddSlice(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	lc := logTbl[c]
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTbl[lc+logTbl[s]]
+		}
+	}
+}
+
+// Matrix is a dense matrix over GF(2^8) in row-major order.
+type Matrix struct {
+	Rows, Cols int
+	Data       []byte
+}
+
+// NewMatrix returns a zero Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("gf256: non-positive matrix dimensions")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]byte, rows*cols)}
+}
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) byte { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at row r, column c.
+func (m *Matrix) Set(r, c int, v byte) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a slice aliasing row r.
+func (m *Matrix) Row(r int) []byte { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	n := NewMatrix(m.Rows, m.Cols)
+	copy(n.Data, m.Data)
+	return n
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// MulMatrix returns the matrix product a*b.
+func MulMatrix(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic("gf256: matrix dimension mismatch")
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av != 0 {
+				MulAddSlice(orow, b.Row(k), av)
+			}
+		}
+	}
+	return out
+}
+
+// Invert returns the inverse of a square matrix using Gauss-Jordan
+// elimination, or ok=false if the matrix is singular. The receiver is
+// not modified.
+func (m *Matrix) Invert() (inv *Matrix, ok bool) {
+	if m.Rows != m.Cols {
+		panic("gf256: Invert on non-square matrix")
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv = Identity(n)
+	for col := 0; col < n; col++ {
+		// Find a pivot row.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		if pivot != col {
+			swapRows(a, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Scale the pivot row so the pivot element is 1.
+		if p := a.At(col, col); p != 1 {
+			pi := Inv(p)
+			MulSlice(a.Row(col), a.Row(col), pi)
+			MulSlice(inv.Row(col), inv.Row(col), pi)
+		}
+		// Eliminate the column from every other row.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if f := a.At(r, col); f != 0 {
+				MulAddSlice(a.Row(r), a.Row(col), f)
+				MulAddSlice(inv.Row(r), inv.Row(col), f)
+			}
+		}
+	}
+	return inv, true
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}

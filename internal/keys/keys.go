@@ -1,0 +1,181 @@
+// Package keys provides the cryptographic material used by the group
+// key management system: 128-bit symmetric keys, the key-wrapping
+// operation {k'}_k that produces the "encryptions" carried in rekey
+// messages, and the digital signature the key server applies once per
+// rekey message.
+//
+// The wrap format is a single AES-128 block (the wrapped key) followed
+// by a 2-byte truncated HMAC-SHA256 tag, 18 bytes total. Together with
+// the 4-byte key ID this gives the 22-byte encryption entry assumed by
+// the packet format, which fits 46 encryptions in a 1027-byte ENC packet
+// -- the constant the paper uses when bounding duplication overhead.
+package keys
+
+import (
+	"crypto"
+	"crypto/aes"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the size in bytes of every group, auxiliary, and individual
+// key managed by the system.
+const KeySize = 16
+
+// TagSize is the size of the truncated integrity tag appended to each
+// wrapped key.
+const TagSize = 2
+
+// WrappedSize is the size of one wrapped key: ciphertext plus tag.
+const WrappedSize = KeySize + TagSize
+
+// Key is a 128-bit symmetric key.
+type Key [KeySize]byte
+
+// Zero reports whether the key is the all-zero value, which the system
+// never generates and treats as "no key".
+func (k Key) Zero() bool { return k == Key{} }
+
+// String renders a short fingerprint, not the key bytes, so keys can be
+// logged without disclosure.
+func (k Key) String() string {
+	sum := sha256.Sum256(k[:])
+	return fmt.Sprintf("key(%x)", sum[:4])
+}
+
+// Generator produces fresh keys. The zero value is not usable; use
+// NewGenerator or NewDeterministicGenerator.
+type Generator struct {
+	r io.Reader
+}
+
+// NewGenerator returns a Generator backed by crypto/rand.
+func NewGenerator() *Generator { return &Generator{r: rand.Reader} }
+
+// NewDeterministicGenerator returns a Generator whose output is a
+// reproducible function of seed. Experiments and tests use it so runs
+// are repeatable; production servers use NewGenerator.
+func NewDeterministicGenerator(seed uint64) *Generator {
+	return &Generator{r: &detReader{state: seed ^ 0x9e3779b97f4a7c15}}
+}
+
+// detReader is a splitmix64-based stream, adequate for repeatable tests
+// (not for production key material).
+type detReader struct {
+	state uint64
+	buf   [8]byte
+	n     int
+}
+
+func (d *detReader) Read(p []byte) (int, error) {
+	for i := range p {
+		if d.n == 0 {
+			d.state += 0x9e3779b97f4a7c15
+			z := d.state
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+			binary.LittleEndian.PutUint64(d.buf[:], z)
+			d.n = 8
+		}
+		p[i] = d.buf[8-d.n]
+		d.n--
+	}
+	return len(p), nil
+}
+
+// NewKey returns a fresh key.
+func (g *Generator) NewKey() (Key, error) {
+	var k Key
+	if _, err := io.ReadFull(g.r, k[:]); err != nil {
+		return Key{}, fmt.Errorf("keys: generating key: %w", err)
+	}
+	if k.Zero() {
+		k[0] = 1 // the all-zero key is reserved
+	}
+	return k, nil
+}
+
+// MustNewKey is NewKey for contexts (tests, deterministic experiments)
+// where generation cannot fail.
+func (g *Generator) MustNewKey() Key {
+	k, err := g.NewKey()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// ErrBadTag is returned by Unwrap when the integrity tag does not match,
+// i.e. the wrapping key is wrong or the ciphertext was corrupted.
+var ErrBadTag = errors.New("keys: wrapped key integrity tag mismatch")
+
+// Wrap encrypts the key inner under the key outer, producing the
+// "encryption" {inner}_outer carried in ENC and USR packets.
+func Wrap(outer, inner Key) [WrappedSize]byte {
+	var out [WrappedSize]byte
+	block, err := aes.NewCipher(outer[:])
+	if err != nil {
+		panic(err) // KeySize is a valid AES-128 key length
+	}
+	block.Encrypt(out[:KeySize], inner[:])
+	mac := hmac.New(sha256.New, outer[:])
+	mac.Write(out[:KeySize])
+	copy(out[KeySize:], mac.Sum(nil)[:TagSize])
+	return out
+}
+
+// Unwrap decrypts a wrapped key with the key outer, verifying the
+// integrity tag first. A tag mismatch yields ErrBadTag.
+func Unwrap(outer Key, wrapped [WrappedSize]byte) (Key, error) {
+	mac := hmac.New(sha256.New, outer[:])
+	mac.Write(wrapped[:KeySize])
+	if !hmac.Equal(mac.Sum(nil)[:TagSize], wrapped[KeySize:]) {
+		return Key{}, ErrBadTag
+	}
+	block, err := aes.NewCipher(outer[:])
+	if err != nil {
+		panic(err)
+	}
+	var k Key
+	block.Decrypt(k[:], wrapped[:KeySize])
+	return k, nil
+}
+
+// Signer signs rekey messages. Signing is the expensive per-message
+// operation whose amortisation motivates periodic batch rekeying; the
+// capacity analysis benchmarks it.
+type Signer struct {
+	priv *rsa.PrivateKey
+}
+
+// NewSigner generates an RSA key pair of the given bit length
+// (1024 matches the paper's era; use >=2048 for modern deployments).
+func NewSigner(bits int) (*Signer, error) {
+	priv, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("keys: generating signing key: %w", err)
+	}
+	return &Signer{priv: priv}, nil
+}
+
+// Sign returns an RSA PKCS#1 v1.5 signature over SHA-256 of msg.
+func (s *Signer) Sign(msg []byte) ([]byte, error) {
+	sum := sha256.Sum256(msg)
+	return rsa.SignPKCS1v15(rand.Reader, s.priv, crypto.SHA256, sum[:])
+}
+
+// Public returns the verification key.
+func (s *Signer) Public() *rsa.PublicKey { return &s.priv.PublicKey }
+
+// Verify checks an RSA PKCS#1 v1.5 signature produced by Sign.
+func Verify(pub *rsa.PublicKey, msg, sig []byte) error {
+	sum := sha256.Sum256(msg)
+	return rsa.VerifyPKCS1v15(pub, crypto.SHA256, sum[:], sig)
+}

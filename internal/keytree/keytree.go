@@ -1,0 +1,737 @@
+// Package keytree implements the logical key hierarchy (LKH) used by the
+// group key management component: a rooted key tree of degree d whose
+// root holds the group key, whose internal k-nodes hold auxiliary keys,
+// and whose u-nodes hold users' individual keys.
+//
+// Node identification follows the paper's scheme exactly: the tree is
+// conceptually expanded to a full, balanced tree by adding null n-nodes,
+// and nodes are numbered top-down, left-to-right starting from 0, so the
+// children of node m are d*m+1 .. d*m+d and the parent of m is
+// floor((m-1)/d). The package maintains the Lemma 4.1 invariant (every
+// k-node ID is smaller than every u-node ID) and provides the Theorem 4.2
+// rederivation by which a user computes its post-batch ID from its old ID
+// and the maximum current k-node ID alone.
+//
+// ProcessBatch is the marking algorithm of Appendix B: it applies J join
+// and L leave requests collected over a rekey interval, relabels the
+// rekey subtree (Unchanged/Join/Leave/Replace), generates new keys for
+// every updated k-node, and emits one encryption {parentKey}_childKey per
+// rekey-subtree edge, bottom-up -- the workload handed to rekey transport.
+package keytree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/keys"
+)
+
+// NodeKind distinguishes the three node types of the expanded key tree.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	NNode NodeKind = iota // null: padding in the expanded tree
+	KNode                 // key node: group key or auxiliary key
+	UNode                 // user node: an individual key
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case NNode:
+		return "n-node"
+	case KNode:
+		return "k-node"
+	case UNode:
+		return "u-node"
+	}
+	return fmt.Sprintf("NodeKind(%d)", uint8(k))
+}
+
+// Label is a rekey-subtree marking.
+type Label uint8
+
+// Rekey subtree labels, per the marking algorithm.
+const (
+	Unchanged Label = iota
+	Join
+	Leave
+	Replace
+)
+
+func (l Label) String() string {
+	switch l {
+	case Unchanged:
+		return "Unchanged"
+	case Join:
+		return "Join"
+	case Leave:
+		return "Leave"
+	case Replace:
+		return "Replace"
+	}
+	return fmt.Sprintf("Label(%d)", uint8(l))
+}
+
+// Member is an application-level member handle, stable across the
+// member's lifetime in the group (node IDs are not: they can change when
+// the tree is restructured).
+type Member int64
+
+type node struct {
+	kind   NodeKind
+	key    keys.Key
+	member Member
+	label  Label // scratch, valid only during ProcessBatch
+}
+
+// Tree is the key server's key tree. It is not safe for concurrent
+// mutation; the key server serialises batches.
+type Tree struct {
+	d      int
+	height int // depth of the deepest level; root is level 0
+	nodes  []node
+	loc    map[Member]int // member -> u-node ID
+	gen    *keys.Generator
+	// lite skips ciphertext materialisation in ProcessBatch: encryption
+	// IDs and counts are exact but Wrapped stays zero. Transport
+	// experiments that only need packet bookkeeping use it to avoid
+	// paying for AES on hundreds of simulated rekey messages.
+	lite bool
+}
+
+// SetLite toggles lite mode (see the lite field). Returns the tree for
+// chaining.
+func (t *Tree) SetLite(lite bool) *Tree {
+	t.lite = lite
+	return t
+}
+
+// New returns an empty key tree of the given degree (d >= 2).
+func New(d int, gen *keys.Generator) *Tree {
+	if d < 2 {
+		panic(fmt.Sprintf("keytree: degree %d < 2", d))
+	}
+	if gen == nil {
+		gen = keys.NewGenerator()
+	}
+	return &Tree{
+		d:      d,
+		height: 1,
+		nodes:  make([]node, fullSize(d, 1)),
+		loc:    make(map[Member]int),
+		gen:    gen,
+	}
+}
+
+// fullSize returns the node count of a full, balanced tree of the given
+// degree and height: (d^(h+1)-1)/(d-1).
+func fullSize(d, h int) int {
+	size := 1
+	level := 1
+	for i := 0; i < h; i++ {
+		level *= d
+		size += level
+	}
+	return size
+}
+
+// Degree returns the key tree degree d.
+func (t *Tree) Degree() int { return t.d }
+
+// Height returns the depth of the deepest tree level (root is level 0).
+func (t *Tree) Height() int { return t.height }
+
+// N returns the current number of users in the group.
+func (t *Tree) N() int { return len(t.loc) }
+
+// Parent returns the parent ID of node m, or -1 for the root.
+func (t *Tree) Parent(m int) int {
+	if m == 0 {
+		return -1
+	}
+	return (m - 1) / t.d
+}
+
+// ParentID computes the parent of node m in a tree of degree d without a
+// Tree instance; it is the relationship users exploit client-side.
+func ParentID(d, m int) int {
+	if m == 0 {
+		return -1
+	}
+	return (m - 1) / d
+}
+
+// MaxKID returns the maximum ID among current k-nodes, or -1 if the tree
+// holds no k-nodes. It is broadcast in every ENC packet so that users can
+// rederive their IDs (Theorem 4.2).
+func (t *Tree) MaxKID() int {
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		if t.nodes[i].kind == KNode {
+			return i
+		}
+	}
+	return -1
+}
+
+// GroupKey returns the current group key (the key at the root).
+// It returns the zero key if the group is empty.
+func (t *Tree) GroupKey() keys.Key {
+	if t.nodes[0].kind != KNode {
+		return keys.Key{}
+	}
+	return t.nodes[0].key
+}
+
+// UserID returns the u-node ID currently assigned to member m.
+func (t *Tree) UserID(m Member) (int, bool) {
+	id, ok := t.loc[m]
+	return id, ok
+}
+
+// IndividualKey returns member m's individual key.
+func (t *Tree) IndividualKey(m Member) (keys.Key, bool) {
+	id, ok := t.loc[m]
+	if !ok {
+		return keys.Key{}, false
+	}
+	return t.nodes[id].key, true
+}
+
+// Members returns all current members, sorted by u-node ID.
+func (t *Tree) Members() []Member {
+	ms := make([]Member, 0, len(t.loc))
+	for m := range t.loc {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return t.loc[ms[i]] < t.loc[ms[j]] })
+	return ms
+}
+
+// PathKeys returns the keys a member should hold after a successful
+// rekey: its individual key plus the keys of every k-node on its path to
+// the root, keyed by node ID. Tests compare user state against it.
+func (t *Tree) PathKeys(m Member) (map[int]keys.Key, bool) {
+	id, ok := t.loc[m]
+	if !ok {
+		return nil, false
+	}
+	out := map[int]keys.Key{id: t.nodes[id].key}
+	for p := t.Parent(id); p >= 0; p = t.Parent(p) {
+		if t.nodes[p].kind == KNode {
+			out[p] = t.nodes[p].key
+		}
+	}
+	return out, true
+}
+
+// kindOf is a bounds-tolerant accessor: IDs beyond the allocated slice
+// are n-nodes of the conceptual infinite expansion.
+func (t *Tree) kindOf(id int) NodeKind {
+	if id >= len(t.nodes) {
+		return NNode
+	}
+	return t.nodes[id].kind
+}
+
+// growTo extends the allocated tree so that id is a valid index,
+// increasing the height as necessary. New positions are n-nodes.
+func (t *Tree) growTo(id int) {
+	for fullSize(t.d, t.height) <= id {
+		t.height++
+	}
+	want := fullSize(t.d, t.height)
+	if want > len(t.nodes) {
+		grown := make([]node, want)
+		copy(grown, t.nodes)
+		t.nodes = grown
+	}
+}
+
+// CheckInvariant verifies Lemma 4.1 (every k-node ID below every u-node
+// ID) plus structural sanity; tests call it after every mutation.
+func (t *Tree) CheckInvariant() error {
+	maxK, minU := -1, math.MaxInt
+	users := 0
+	// hasUser[id]: does the subtree rooted at id contain a u-node?
+	// Computed bottom-up in one pass (children have larger IDs).
+	hasUser := make([]bool, len(t.nodes))
+	for id := len(t.nodes) - 1; id >= 0; id-- {
+		if t.nodes[id].kind == UNode {
+			hasUser[id] = true
+			continue
+		}
+		first := t.d*id + 1
+		for c := first; c < first+t.d && c < len(t.nodes); c++ {
+			if hasUser[c] {
+				hasUser[id] = true
+				break
+			}
+		}
+	}
+	for id := range t.nodes {
+		n := &t.nodes[id]
+		switch n.kind {
+		case KNode:
+			if id > maxK {
+				maxK = id
+			}
+			if !hasUser[id] {
+				return fmt.Errorf("keytree: k-node %d has no user below", id)
+			}
+			if n.key.Zero() {
+				return fmt.Errorf("keytree: k-node %d has no key", id)
+			}
+		case UNode:
+			users++
+			if id < minU {
+				minU = id
+			}
+			if got, ok := t.loc[n.member]; !ok || got != id {
+				return fmt.Errorf("keytree: loc map out of sync for member %d at node %d", n.member, id)
+			}
+			if id != 0 && t.nodes[t.Parent(id)].kind != KNode {
+				return fmt.Errorf("keytree: u-node %d has non-k parent", id)
+			}
+		case NNode:
+			if hasUser[id] {
+				return fmt.Errorf("keytree: n-node %d has a user below", id)
+			}
+		}
+	}
+	if users != len(t.loc) {
+		return fmt.Errorf("keytree: %d u-nodes but %d loc entries", users, len(t.loc))
+	}
+	if maxK >= 0 && minU < math.MaxInt && maxK >= minU {
+		return fmt.Errorf("keytree: Lemma 4.1 violated: maxKID=%d >= minUID=%d", maxK, minU)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the tree sharing the key generator.
+// The experiment harness clones a populated tree so that many trials can
+// apply independent batches to identical starting states.
+func (t *Tree) Clone() *Tree {
+	n := &Tree{d: t.d, height: t.height, gen: t.gen, lite: t.lite}
+	n.nodes = append([]node(nil), t.nodes...)
+	n.loc = make(map[Member]int, len(t.loc))
+	for m, id := range t.loc {
+		n.loc[m] = id
+	}
+	return n
+}
+
+// Encryption is one {parentKey}_childKey entry of a rekey message. Its ID
+// is the encrypting (child) node's ID; the encrypted key's node is the
+// child's parent, recoverable from the ID alone.
+type Encryption struct {
+	ID      uint32
+	Wrapped [keys.WrappedSize]byte
+}
+
+// BatchResult is the outcome of one ProcessBatch: the workload handed to
+// the rekey transport protocol, plus bookkeeping for users and tests.
+type BatchResult struct {
+	// Encryptions in bottom-up (deepest level first, left-to-right)
+	// generation order.
+	Encryptions []Encryption
+	// index maps encryption ID to position in Encryptions.
+	index map[uint32]int
+	// MaxKID after the batch; carried in every ENC packet.
+	MaxKID int
+	// GroupKey after the batch.
+	GroupKey keys.Key
+	// UserIDs is the sorted list of all current u-node IDs.
+	UserIDs []int
+	// Joined/Left counts; UpdatedKNodes is the number of k-nodes whose
+	// keys changed (including newly created ones).
+	Joined, Left, UpdatedKNodes int
+
+	d int
+}
+
+// Encryption returns the encryption whose encrypting-key node is id.
+func (r *BatchResult) Encryption(id int) (Encryption, bool) {
+	i, ok := r.index[uint32(id)]
+	if !ok {
+		return Encryption{}, false
+	}
+	return r.Encryptions[i], true
+}
+
+// UserNeeds returns, in bottom-up order, the encryptions user userID
+// requires: those whose encrypting key lies on the user's path to the
+// root (including its own individual key).
+func (r *BatchResult) UserNeeds(userID int) []Encryption {
+	var out []Encryption
+	for id := userID; id >= 0; id = ParentID(r.d, id) {
+		if e, ok := r.Encryption(id); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// UserNeedIDs is like UserNeeds but returns only the encryption IDs, in
+// bottom-up order. The key assignment algorithm packs by ID; ciphertexts
+// are materialised later.
+func (r *BatchResult) UserNeedIDs(userID int) []uint32 {
+	var out []uint32
+	for id := userID; id >= 0; id = ParentID(r.d, id) {
+		if _, ok := r.index[uint32(id)]; ok {
+			out = append(out, uint32(id))
+		}
+	}
+	return out
+}
+
+// ProcessBatch applies the marking algorithm for one rekey interval:
+// the L members in leaves depart and the J members in joins arrive.
+// It returns the generated rekey workload. A batch with no membership
+// change returns an empty BatchResult (no rekeying needed).
+func (t *Tree) ProcessBatch(joins, leaves []Member) (*BatchResult, error) {
+	for _, m := range leaves {
+		if _, ok := t.loc[m]; !ok {
+			return nil, fmt.Errorf("keytree: leave request for unknown member %d", m)
+		}
+	}
+	seen := make(map[Member]bool, len(joins))
+	for _, m := range joins {
+		if _, ok := t.loc[m]; ok {
+			return nil, fmt.Errorf("keytree: join request for already-present member %d", m)
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("keytree: duplicate join request for member %d", m)
+		}
+		seen[m] = true
+	}
+	leaveSet := make(map[Member]bool, len(leaves))
+	for _, m := range leaves {
+		if leaveSet[m] {
+			return nil, fmt.Errorf("keytree: duplicate leave request for member %d", m)
+		}
+		leaveSet[m] = true
+	}
+
+	if len(joins) == 0 && len(leaves) == 0 {
+		return &BatchResult{index: map[uint32]int{}, MaxKID: t.MaxKID(), GroupKey: t.GroupKey(), UserIDs: t.userIDs(), d: t.d}, nil
+	}
+
+	// Reset labels.
+	for i := range t.nodes {
+		t.nodes[i].label = Unchanged
+	}
+
+	joinPos, replacePos, vacatedPos, err := t.applyMembership(joins, leaves)
+	if err != nil {
+		return nil, err
+	}
+	res := t.relabelAndRekey(joinPos, replacePos, vacatedPos)
+	res.Joined, res.Left = len(joins), len(leaves)
+	return res, nil
+}
+
+func (t *Tree) userIDs() []int {
+	ids := make([]int, 0, len(t.loc))
+	for _, id := range t.loc {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// applyMembership performs the tree-update phase of the marking
+// algorithm (Appendix B steps 1-4) and reports where new users were
+// placed: joinPos are previously-empty positions, replacePos are
+// positions whose previous occupant departed this interval, and
+// vacatedPos are positions that became n-nodes this interval (removed
+// u-nodes that were not refilled, plus pruned k-nodes). Only those
+// count as Leave during relabelling: n-node holes inherited from
+// earlier intervals are not membership changes and must not force key
+// updates on their ancestors.
+func (t *Tree) applyMembership(joins, leaves []Member) (joinPos, replacePos, vacatedPos map[int]bool, err error) {
+	joinPos = make(map[int]bool)
+	replacePos = make(map[int]bool)
+	vacatedPos = make(map[int]bool)
+
+	departed := make([]int, 0, len(leaves))
+	for _, m := range leaves {
+		id := t.loc[m]
+		departed = append(departed, id)
+		delete(t.loc, m)
+		t.nodes[id] = node{kind: NNode}
+		vacatedPos[id] = true
+	}
+	sort.Ints(departed)
+
+	J, L := len(joins), len(leaves)
+	place := func(id int, m Member, replaced bool) {
+		t.nodes[id] = node{kind: UNode, member: m, key: t.gen.MustNewKey()}
+		t.loc[m] = id
+		delete(vacatedPos, id)
+		if replaced {
+			replacePos[id] = true
+		} else {
+			joinPos[id] = true
+		}
+	}
+
+	switch {
+	case J == L:
+		for i, m := range joins {
+			place(departed[i], m, true)
+		}
+	case J < L:
+		// Fill the J smallest departed positions (they are sorted);
+		// the remaining L-J stay n-nodes.
+		for i, m := range joins {
+			place(departed[i], m, true)
+		}
+		// Cascade: k-nodes whose children are all n-nodes become
+		// n-nodes, repeated up the tree.
+		t.pruneEmptyKNodes(vacatedPos)
+	default: // J > L
+		for i := 0; i < L; i++ {
+			place(departed[i], joins[i], true)
+		}
+		extra := joins[L:]
+		t.placeExtraJoins(extra, place)
+	}
+
+	// Step 4: any n-node with a descendant u-node becomes a k-node.
+	// (Arises when a join fills a position under a pruned subtree.)
+	t.promoteNNodes()
+
+	return joinPos, replacePos, vacatedPos, nil
+}
+
+// pruneEmptyKNodes converts k-nodes whose children are all n-nodes into
+// n-nodes, iterating bottom-up until stable, recording the vacated
+// positions.
+func (t *Tree) pruneEmptyKNodes(vacatedPos map[int]bool) {
+	for id := len(t.nodes) - 1; id >= 0; id-- {
+		if t.nodes[id].kind != KNode {
+			continue
+		}
+		allN := true
+		first := t.d*id + 1
+		for c := first; c < first+t.d; c++ {
+			if t.kindOf(c) != NNode {
+				allN = false
+				break
+			}
+		}
+		if allN {
+			t.nodes[id] = node{kind: NNode}
+			vacatedPos[id] = true
+		}
+	}
+}
+
+// promoteNNodes converts n-nodes that acquired a u-node descendant into
+// k-nodes (they get keys during relabelAndRekey, since their labels are
+// necessarily not Unchanged).
+func (t *Tree) promoteNNodes() {
+	// A single bottom-up pass suffices: a node's promotion depends only
+	// on deeper nodes.
+	for id := len(t.nodes) - 1; id >= 0; id-- {
+		if t.nodes[id].kind != NNode {
+			continue
+		}
+		first := t.d*id + 1
+		for c := first; c < first+t.d; c++ {
+			k := t.kindOf(c)
+			if k == UNode || k == KNode {
+				t.nodes[id].kind = KNode
+				break
+			}
+		}
+	}
+}
+
+// placeExtraJoins implements the J > L expansion: fill n-node positions
+// with IDs in (nk, d*nk+d], then repeatedly split node nk+1, where nk is
+// the maximum k-node ID, updating nk after each split. The split node
+// becomes its own leftmost child.
+func (t *Tree) placeExtraJoins(extra []Member, place func(int, Member, bool)) {
+	i := 0
+	if len(t.loc) == 0 && t.MaxKID() < 0 {
+		// Empty tree: seed it by making the root a k-node over a first
+		// leaf, then let the regular expansion take over.
+		t.growTo(t.d)
+		place(1, extra[i], false)
+		t.nodes[0].kind = KNode
+		i++
+	}
+	if i >= len(extra) {
+		return
+	}
+
+	// Fill n-node positions in the window (nk, d*nk+d], low to high.
+	nk := t.MaxKID()
+	hi := t.d*nk + t.d
+	t.growTo(hi)
+	for id := nk + 1; id <= hi && i < len(extra); id++ {
+		if t.nodes[id].kind == NNode {
+			place(id, extra[i], false)
+			i++
+		}
+	}
+
+	// Still extra joins: keep splitting node nk+1 and updating nk.
+	// After the full window pass every position in (nk, d*nk+d] is a
+	// u-node, so the split target is a u-node, and the only fresh
+	// n-node positions each split creates are the split node's
+	// children other than the leftmost (which receives the moved
+	// user). Filling just those is equivalent to rescanning the
+	// window, but linear instead of quadratic.
+	for i < len(extra) {
+		split := nk + 1
+		child := t.d*split + 1
+		t.growTo(child + t.d - 1)
+		moved := t.nodes[split]
+		t.nodes[child] = moved
+		t.loc[moved.member] = child
+		t.nodes[split] = node{kind: KNode}
+		nk = split
+		for id := child + 1; id <= child+t.d-1 && i < len(extra); id++ {
+			place(id, extra[i], false)
+			i++
+		}
+	}
+}
+
+// relabelAndRekey performs the rekey-subtree labelling, generates new
+// keys for every updated k-node, and emits the per-edge encryptions
+// bottom-up.
+func (t *Tree) relabelAndRekey(joinPos, replacePos, vacatedPos map[int]bool) *BatchResult {
+	// Label bottom-up. n-nodes are Leave only if vacated this interval;
+	// holes inherited from earlier intervals are no change at all.
+	for id := len(t.nodes) - 1; id >= 0; id-- {
+		n := &t.nodes[id]
+		switch n.kind {
+		case NNode:
+			if vacatedPos[id] {
+				n.label = Leave
+			} else {
+				n.label = Unchanged
+			}
+		case UNode:
+			switch {
+			case joinPos[id]:
+				n.label = Join
+			case replacePos[id]:
+				n.label = Replace
+			default:
+				n.label = Unchanged
+			}
+		case KNode:
+			allLeave, allUnchanged, allUnchangedOrJoin := true, true, true
+			first := t.d*id + 1
+			for c := first; c < first+t.d; c++ {
+				var l Label = Leave
+				if c < len(t.nodes) {
+					l = t.nodes[c].label
+				}
+				if l != Leave {
+					allLeave = false
+				}
+				if l != Unchanged {
+					allUnchanged = false
+				}
+				if l != Unchanged && l != Join {
+					allUnchangedOrJoin = false
+				}
+			}
+			switch {
+			case allLeave:
+				// Cannot occur: such k-nodes were pruned to n-nodes.
+				n.label = Leave
+			case allUnchanged:
+				n.label = Unchanged
+			case allUnchangedOrJoin:
+				n.label = Join
+			default:
+				n.label = Replace
+			}
+		}
+	}
+
+	// Generate new keys for every updated k-node (labels Join/Replace).
+	updated := 0
+	for id := range t.nodes {
+		n := &t.nodes[id]
+		if n.kind == KNode && (n.label == Join || n.label == Replace) {
+			n.key = t.gen.MustNewKey()
+			updated++
+		}
+	}
+
+	// Emit encryptions bottom-up: deepest level first, left-to-right.
+	// For every updated k-node, one encryption per non-Leave child:
+	// the child's current key wraps the parent's new key.
+	res := &BatchResult{
+		index:         make(map[uint32]int),
+		MaxKID:        t.MaxKID(),
+		GroupKey:      t.GroupKey(),
+		UserIDs:       t.userIDs(),
+		UpdatedKNodes: updated,
+		d:             t.d,
+	}
+	levelStart := make([]int, t.height+2)
+	levelStart[0] = 0
+	for l := 1; l <= t.height+1; l++ {
+		levelStart[l] = fullSize(t.d, l-1) // nodes in levels 0..l-1
+	}
+	for level := t.height; level >= 0; level-- {
+		lo, hi := levelStart[level], levelStart[level+1]
+		if hi > len(t.nodes) {
+			hi = len(t.nodes)
+		}
+		for id := lo; id < hi; id++ {
+			n := &t.nodes[id]
+			if n.kind != UNode && n.kind != KNode {
+				continue
+			}
+			parent := t.Parent(id)
+			if parent < 0 {
+				continue
+			}
+			p := &t.nodes[parent]
+			if p.kind != KNode || (p.label != Join && p.label != Replace) {
+				continue
+			}
+			if n.label == Leave {
+				continue
+			}
+			e := Encryption{ID: uint32(id)}
+			if !t.lite {
+				e.Wrapped = keys.Wrap(n.key, p.key)
+			}
+			res.index[e.ID] = len(res.Encryptions)
+			res.Encryptions = append(res.Encryptions, e)
+		}
+	}
+	return res
+}
+
+// NewID implements Theorem 4.2: given a user's pre-batch u-node ID m and
+// the post-batch maximum k-node ID maxKID, it returns the unique
+// post-batch ID f(x) = d^x*m + (d^x-1)/(d-1) with maxKID < f(x) <=
+// d*maxKID+d. ok is false if no such x exists (the user is no longer in
+// the tree, e.g. it was removed).
+func NewID(d, m, maxKID int) (newID int, ok bool) {
+	if m < 0 || maxKID < 0 {
+		return 0, false
+	}
+	f := m
+	hi := d*maxKID + d
+	for f <= hi {
+		if f > maxKID {
+			return f, true
+		}
+		f = d*f + 1 // f(x+1) = d*f(x) + 1
+	}
+	return 0, false
+}

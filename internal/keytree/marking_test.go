@@ -1,0 +1,198 @@
+package keytree
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestJLessThanLFillsSmallestPositions checks the Appendix B rule: with
+// J < L, the J joins replace the departed u-nodes with the smallest IDs.
+func TestJLessThanLFillsSmallestPositions(t *testing.T) {
+	tr := newTestTree(t, 4, 30)
+	populate(t, tr, 16)
+	// Depart members at four known positions; add one join.
+	leavers := []Member{2, 7, 11, 14}
+	var departedIDs []int
+	for _, m := range leavers {
+		id, _ := tr.UserID(m)
+		departedIDs = append(departedIDs, id)
+	}
+	minID := departedIDs[0]
+	for _, id := range departedIDs {
+		if id < minID {
+			minID = id
+		}
+	}
+	if _, err := tr.ProcessBatch([]Member{99}, leavers); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tr.UserID(Member(99))
+	if !ok || got != minID {
+		t.Fatalf("join placed at node %d, want smallest departed %d", got, minID)
+	}
+}
+
+// TestGrowthByManySmallBatches grows a group one small join batch at a
+// time, checking the invariant and Theorem 4.2 rederivation for every
+// member after every batch.
+func TestGrowthByManySmallBatches(t *testing.T) {
+	const d = 4
+	tr := newTestTree(t, d, 31)
+	rng := rand.New(rand.NewPCG(31, 31))
+	next := Member(0)
+	// Track each member's last known ID as a client would.
+	lastID := map[Member]int{}
+	for batch := 0; batch < 60; batch++ {
+		n := rng.IntN(7) + 1
+		joins := make([]Member, n)
+		for i := range joins {
+			joins[i] = next
+			next++
+		}
+		res, err := tr.ProcessBatch(joins, nil)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if err := tr.CheckInvariant(); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		// Existing members rederive their IDs from maxKID alone.
+		for m, old := range lastID {
+			derived, ok := NewID(d, old, res.MaxKID)
+			if !ok {
+				t.Fatalf("batch %d: member %d cannot rederive from %d", batch, m, old)
+			}
+			actual, _ := tr.UserID(m)
+			if derived != actual {
+				t.Fatalf("batch %d: member %d derived %d, actual %d", batch, m, derived, actual)
+			}
+			lastID[m] = derived
+		}
+		for _, m := range joins {
+			id, _ := tr.UserID(m)
+			lastID[m] = id
+		}
+	}
+	if tr.N() != int(next) {
+		t.Fatalf("N = %d, want %d", tr.N(), next)
+	}
+}
+
+// TestShrinkThenGrow alternates heavy departures with heavy joins,
+// stressing pruning, promotion and splitting together.
+func TestShrinkThenGrow(t *testing.T) {
+	tr := newTestTree(t, 3, 32)
+	populate(t, tr, 200)
+	rng := rand.New(rand.NewPCG(32, 32))
+	next := Member(200)
+	for cycle := 0; cycle < 8; cycle++ {
+		// Remove ~60% of members.
+		members := tr.Members()
+		perm := rng.Perm(len(members))
+		nl := len(members) * 6 / 10
+		leaves := make([]Member, nl)
+		for i := 0; i < nl; i++ {
+			leaves[i] = members[perm[i]]
+		}
+		if _, err := tr.ProcessBatch(nil, leaves); err != nil {
+			t.Fatalf("cycle %d shrink: %v", cycle, err)
+		}
+		if err := tr.CheckInvariant(); err != nil {
+			t.Fatalf("cycle %d shrink: %v", cycle, err)
+		}
+		// Add back more than departed.
+		nj := nl + rng.IntN(50)
+		joins := make([]Member, nj)
+		for i := range joins {
+			joins[i] = next
+			next++
+		}
+		if _, err := tr.ProcessBatch(joins, nil); err != nil {
+			t.Fatalf("cycle %d grow: %v", cycle, err)
+		}
+		if err := tr.CheckInvariant(); err != nil {
+			t.Fatalf("cycle %d grow: %v", cycle, err)
+		}
+	}
+}
+
+// TestMixedBatchKeysDeliverable runs a mixed J>L batch and confirms every
+// member (old, moved, replaced, new) can derive the full key path from
+// its needed encryptions.
+func TestMixedBatchKeysDeliverable(t *testing.T) {
+	const d = 4
+	tr := newTestTree(t, d, 33)
+	populate(t, tr, 85) // not a power of d: exercises partial levels
+	views := map[Member]*UserView{}
+	res0, err := tr.ProcessBatch(nil, []Member{0}) // prime views with a trivial batch
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res0
+	for _, m := range tr.Members() {
+		id, _ := tr.UserID(m)
+		ik, _ := tr.IndividualKey(m)
+		v := NewUserView(d, m, id, ik)
+		// Seed the view with the server's current path keys (as if it
+		// had followed all prior intervals).
+		pk, _ := tr.PathKeys(m)
+		for nid, k := range pk {
+			v.Keys[nid] = k
+		}
+		views[m] = v
+	}
+	joins := make([]Member, 40)
+	for i := range joins {
+		joins[i] = Member(1000 + i)
+	}
+	res, err := tr.ProcessBatch(joins, []Member{5, 17, 33, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Member{5, 17, 33, 60} {
+		delete(views, m)
+	}
+	for _, m := range joins {
+		id, _ := tr.UserID(m)
+		ik, _ := tr.IndividualKey(m)
+		views[m] = NewUserView(d, m, id, ik)
+	}
+	for m, v := range views {
+		newID, ok := NewID(d, v.ID, res.MaxKID)
+		if !ok {
+			t.Fatalf("member %d: no ID", m)
+		}
+		if err := v.Apply(res.MaxKID, res.UserNeeds(newID)); err != nil {
+			t.Fatalf("member %d: %v", m, err)
+		}
+		gk, ok := v.GroupKey()
+		if !ok || gk != tr.GroupKey() {
+			t.Fatalf("member %d: wrong group key", m)
+		}
+	}
+}
+
+// TestEncryptionIDsAreChildNodes verifies the identification rule: an
+// encryption's ID is the encrypting (child) node, and the encrypted key
+// belongs to its parent -- derivable from the ID alone.
+func TestEncryptionIDsAreChildNodes(t *testing.T) {
+	tr := newTestTree(t, 4, 34)
+	populate(t, tr, 64)
+	res, err := tr.ProcessBatch(nil, []Member{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]bool{}
+	for _, e := range res.Encryptions {
+		if e.ID == 0 {
+			t.Fatal("encryption keyed by the root")
+		}
+		if seen[e.ID] {
+			t.Fatalf("encrypting key %d used twice", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}

@@ -1,0 +1,294 @@
+// Package packet defines the four wire formats of the rekey transport
+// protocol (Appendix A of the protocol paper): ENC packets carrying
+// encrypted keys, PARITY packets carrying Reed-Solomon redundancy, USR
+// packets unicast to individual stragglers, and NACK feedback packets.
+//
+// All multicast packets are a fixed PacketLen bytes because FEC encoding
+// requires fixed-length blocks; ENC packets are zero-padded, which is
+// unambiguous because no encryption has ID zero (the root is never an
+// encrypting key).
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/keys"
+	"repro/internal/keytree"
+)
+
+// Type is the 2-bit packet type carried in the top bits of byte 0.
+type Type uint8
+
+// Packet types.
+const (
+	TypeENC Type = iota
+	TypePARITY
+	TypeUSR
+	TypeNACK
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeENC:
+		return "ENC"
+	case TypePARITY:
+		return "PARITY"
+	case TypeUSR:
+		return "USR"
+	case TypeNACK:
+		return "NACK"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Wire-format constants.
+const (
+	// PacketLen is the fixed length of ENC and PARITY packets: the
+	// paper's 1027-byte packets.
+	PacketLen = 1027
+	// ENCHeaderLen is bytes 0..9: type+msgID, blockID, seq, flags,
+	// maxKID, frmID, toID.
+	ENCHeaderLen = 10
+	// FECOffset is where FEC-protected content begins: fields 5-8 of an
+	// ENC packet (maxKID onward) are covered by parity; fields 1-4
+	// (type, message ID, block ID, sequence number) identify the packet
+	// and are not.
+	FECOffset = 3
+	// EncEntryLen is one <ID, encryption> element: 4-byte encrypting-key
+	// ID plus the wrapped key.
+	EncEntryLen = 4 + keys.WrappedSize
+	// MaxEncPerPacket is how many encryptions fit in one ENC packet:
+	// (1027-10)/22 = 46, the constant the paper uses when bounding
+	// duplication overhead.
+	MaxEncPerPacket = (PacketLen - ENCHeaderLen) / EncEntryLen
+	// MaxMsgID is the largest rekey message ID (6-bit field).
+	MaxMsgID = 1<<6 - 1
+)
+
+// ENC is a multicast packet carrying the encryptions for the users whose
+// IDs fall in [FrmID, ToID].
+type ENC struct {
+	MsgID   uint8 // 6-bit rekey message ID
+	BlockID uint8
+	Seq     uint8 // sequence number within the block
+	// Dup marks a last-block padding duplicate; duplicates count as FEC
+	// shards but are excluded from block-ID estimation.
+	Dup    bool
+	MaxKID uint16
+	FrmID  uint16
+	ToID   uint16
+	Encs   []keytree.Encryption
+}
+
+// Marshal renders the packet into exactly PacketLen bytes.
+func (p *ENC) Marshal() ([]byte, error) {
+	if p.MsgID > MaxMsgID {
+		return nil, fmt.Errorf("packet: message ID %d exceeds 6 bits", p.MsgID)
+	}
+	if len(p.Encs) > MaxEncPerPacket {
+		return nil, fmt.Errorf("packet: %d encryptions exceed capacity %d", len(p.Encs), MaxEncPerPacket)
+	}
+	for _, e := range p.Encs {
+		if e.ID == 0 {
+			return nil, errors.New("packet: encryption ID 0 is reserved for padding")
+		}
+	}
+	b := make([]byte, PacketLen)
+	b[0] = byte(TypeENC)<<6 | p.MsgID
+	b[1] = p.BlockID
+	b[2] = p.Seq
+	if p.Dup {
+		b[3] = 1
+	}
+	binary.BigEndian.PutUint16(b[4:], p.MaxKID)
+	binary.BigEndian.PutUint16(b[6:], p.FrmID)
+	binary.BigEndian.PutUint16(b[8:], p.ToID)
+	off := ENCHeaderLen
+	for _, e := range p.Encs {
+		binary.BigEndian.PutUint32(b[off:], e.ID)
+		copy(b[off+4:], e.Wrapped[:])
+		off += EncEntryLen
+	}
+	return b, nil
+}
+
+// ParseENC decodes an ENC packet produced by Marshal.
+func ParseENC(b []byte) (*ENC, error) {
+	if len(b) != PacketLen {
+		return nil, fmt.Errorf("packet: ENC length %d, want %d", len(b), PacketLen)
+	}
+	if Type(b[0]>>6) != TypeENC {
+		return nil, fmt.Errorf("packet: type %v, want ENC", Type(b[0]>>6))
+	}
+	p := &ENC{
+		MsgID:   b[0] & MaxMsgID,
+		BlockID: b[1],
+		Seq:     b[2],
+		Dup:     b[3]&1 != 0,
+		MaxKID:  binary.BigEndian.Uint16(b[4:]),
+		FrmID:   binary.BigEndian.Uint16(b[6:]),
+		ToID:    binary.BigEndian.Uint16(b[8:]),
+	}
+	for off := ENCHeaderLen; off+EncEntryLen <= PacketLen; off += EncEntryLen {
+		id := binary.BigEndian.Uint32(b[off:])
+		if id == 0 {
+			break // zero padding begins
+		}
+		var e keytree.Encryption
+		e.ID = id
+		copy(e.Wrapped[:], b[off+4:])
+		p.Encs = append(p.Encs, e)
+	}
+	return p, nil
+}
+
+// PARITY is a multicast packet carrying FEC redundancy for one block.
+// Its payload protects bytes FECOffset..PacketLen of the block's ENC
+// packets.
+type PARITY struct {
+	MsgID   uint8
+	BlockID uint8
+	Seq     uint8 // shard index within the block; k+i for parity i
+	Payload []byte
+}
+
+// ParityPayloadLen is the FEC-protected span of an ENC packet.
+const ParityPayloadLen = PacketLen - FECOffset
+
+// Marshal renders the packet into exactly PacketLen bytes.
+func (p *PARITY) Marshal() ([]byte, error) {
+	if p.MsgID > MaxMsgID {
+		return nil, fmt.Errorf("packet: message ID %d exceeds 6 bits", p.MsgID)
+	}
+	if len(p.Payload) != ParityPayloadLen {
+		return nil, fmt.Errorf("packet: parity payload %d bytes, want %d", len(p.Payload), ParityPayloadLen)
+	}
+	b := make([]byte, PacketLen)
+	b[0] = byte(TypePARITY)<<6 | p.MsgID
+	b[1] = p.BlockID
+	b[2] = p.Seq
+	copy(b[FECOffset:], p.Payload)
+	return b, nil
+}
+
+// ParsePARITY decodes a PARITY packet produced by Marshal.
+func ParsePARITY(b []byte) (*PARITY, error) {
+	if len(b) != PacketLen {
+		return nil, fmt.Errorf("packet: PARITY length %d, want %d", len(b), PacketLen)
+	}
+	if Type(b[0]>>6) != TypePARITY {
+		return nil, fmt.Errorf("packet: type %v, want PARITY", Type(b[0]>>6))
+	}
+	return &PARITY{
+		MsgID:   b[0] & MaxMsgID,
+		BlockID: b[1],
+		Seq:     b[2],
+		Payload: append([]byte(nil), b[FECOffset:]...),
+	}, nil
+}
+
+// USR is a unicast packet carrying exactly one user's encryptions plus
+// its (possibly changed) user ID. It is small: 3 + 22h bytes for a tree
+// of height h.
+type USR struct {
+	MsgID  uint8
+	NewID  uint16
+	MaxKID uint16
+	Encs   []keytree.Encryption
+}
+
+// Marshal renders the packet; USR packets are variable length.
+func (p *USR) Marshal() ([]byte, error) {
+	if p.MsgID > MaxMsgID {
+		return nil, fmt.Errorf("packet: message ID %d exceeds 6 bits", p.MsgID)
+	}
+	b := make([]byte, 5+len(p.Encs)*EncEntryLen)
+	b[0] = byte(TypeUSR)<<6 | p.MsgID
+	binary.BigEndian.PutUint16(b[1:], p.NewID)
+	binary.BigEndian.PutUint16(b[3:], p.MaxKID)
+	off := 5
+	for _, e := range p.Encs {
+		binary.BigEndian.PutUint32(b[off:], e.ID)
+		copy(b[off+4:], e.Wrapped[:])
+		off += EncEntryLen
+	}
+	return b, nil
+}
+
+// ParseUSR decodes a USR packet produced by Marshal.
+func ParseUSR(b []byte) (*USR, error) {
+	if len(b) < 5 || (len(b)-5)%EncEntryLen != 0 {
+		return nil, fmt.Errorf("packet: bad USR length %d", len(b))
+	}
+	if Type(b[0]>>6) != TypeUSR {
+		return nil, fmt.Errorf("packet: type %v, want USR", Type(b[0]>>6))
+	}
+	p := &USR{
+		MsgID:  b[0] & MaxMsgID,
+		NewID:  binary.BigEndian.Uint16(b[1:]),
+		MaxKID: binary.BigEndian.Uint16(b[3:]),
+	}
+	for off := 5; off < len(b); off += EncEntryLen {
+		var e keytree.Encryption
+		e.ID = binary.BigEndian.Uint32(b[off:])
+		copy(e.Wrapped[:], b[off+4:])
+		p.Encs = append(p.Encs, e)
+	}
+	return p, nil
+}
+
+// BlockRequest is one element of a NACK: the user needs Count more
+// packets of block BlockID to reach k.
+type BlockRequest struct {
+	Count   uint8
+	BlockID uint8
+}
+
+// NACK is user feedback: the PARITY packets needed per block.
+type NACK struct {
+	MsgID    uint8
+	UserID   uint16 // requesting user's node ID (lets the server unicast later)
+	Requests []BlockRequest
+}
+
+// Marshal renders the packet; NACK packets are variable length.
+func (p *NACK) Marshal() ([]byte, error) {
+	if p.MsgID > MaxMsgID {
+		return nil, fmt.Errorf("packet: message ID %d exceeds 6 bits", p.MsgID)
+	}
+	b := make([]byte, 3+2*len(p.Requests))
+	b[0] = byte(TypeNACK)<<6 | p.MsgID
+	binary.BigEndian.PutUint16(b[1:], p.UserID)
+	off := 3
+	for _, r := range p.Requests {
+		b[off] = r.Count
+		b[off+1] = r.BlockID
+		off += 2
+	}
+	return b, nil
+}
+
+// ParseNACK decodes a NACK packet produced by Marshal.
+func ParseNACK(b []byte) (*NACK, error) {
+	if len(b) < 3 || (len(b)-3)%2 != 0 {
+		return nil, fmt.Errorf("packet: bad NACK length %d", len(b))
+	}
+	if Type(b[0]>>6) != TypeNACK {
+		return nil, fmt.Errorf("packet: type %v, want NACK", Type(b[0]>>6))
+	}
+	p := &NACK{MsgID: b[0] & MaxMsgID, UserID: binary.BigEndian.Uint16(b[1:])}
+	for off := 3; off < len(b); off += 2 {
+		p.Requests = append(p.Requests, BlockRequest{Count: b[off], BlockID: b[off+1]})
+	}
+	return p, nil
+}
+
+// Detect returns the type of a raw packet without fully parsing it.
+func Detect(b []byte) (Type, error) {
+	if len(b) == 0 {
+		return 0, errors.New("packet: empty")
+	}
+	return Type(b[0] >> 6), nil
+}

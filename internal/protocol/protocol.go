@@ -1,0 +1,637 @@
+// Package protocol implements the rekey transport protocol's server and
+// user state machines (Figures 2, 3, 11, 22, 26 and 27 of the protocol
+// paper) over a simulated multicast network.
+//
+// For each rekey message the server multicasts the message's ENC packets
+// plus ceil((rho-1)*k) proactive PARITY packets per block, interleaved
+// across blocks. At each round boundary it collects NACKs, each carrying
+// the number of parity packets a user still needs per block; it then
+// either multicasts amax[i] fresh parity packets per block, or -- after
+// at most MaxMulticastRounds rounds, or as soon as unicasting would be
+// cheaper -- switches to unicasting small USR packets with escalating
+// duplication. The proactivity factor rho adapts across messages so the
+// first-round NACK count tracks a target (AdjustRho, Fig. 11), and the
+// target itself adapts to deadline misses.
+//
+// The engine tracks packet bookkeeping rather than ciphertext bytes:
+// which shards each user received determines recoverability exactly
+// (the MDS property of the FEC code), so bandwidth, NACK, latency and
+// deadline metrics are identical to a byte-level run at a fraction of
+// the cost. Byte-level operation is exercised by the fec, packet and
+// assign packages and the UDP transport.
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/assign"
+	"repro/internal/blockplan"
+	"repro/internal/keytree"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+// Config holds the transport protocol parameters. DefaultConfig returns
+// the paper's defaults.
+type Config struct {
+	// K is the FEC block size.
+	K int
+	// InitialRho is the proactivity factor for the first rekey message.
+	InitialRho float64
+	// AdaptiveRho enables the AdjustRho algorithm; when false, rho stays
+	// at InitialRho for every message.
+	AdaptiveRho bool
+	// NumNACK is the initial target number of first-round NACKs.
+	NumNACK int
+	// MaxNACK caps NumNACK adaptation.
+	MaxNACK int
+	// AdaptNumNACK enables deadline-driven adaptation of NumNACK
+	// (requires DeadlineRounds > 0).
+	AdaptNumNACK bool
+	// MaxMulticastRounds is the round count after which the server
+	// switches to unicast (the paper suggests 1 or 2). Zero disables
+	// unicast: the server multicasts until every user recovers.
+	MaxMulticastRounds int
+	// EarlyUnicast also switches to unicast as soon as the total size of
+	// the pending USR packets is no more than the PARITY packets the
+	// next multicast round would send.
+	EarlyUnicast bool
+	// DeadlineRounds is the soft real-time deadline, in multicast
+	// rounds. Zero disables deadline accounting.
+	DeadlineRounds int
+	// SendInterval is the time between consecutive multicast packets
+	// (seconds); the paper's server sends 10 packets/second.
+	SendInterval float64
+	// RoundSlack is added to each round's duration beyond transmission
+	// time, covering the maximum user RTT.
+	RoundSlack float64
+	// UnicastInterval is the duration of one unicast retransmission
+	// wave, typically one RTT -- much shorter than a multicast round.
+	UnicastInterval float64
+	// Workers bounds the goroutines used for per-user processing;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// SequentialSend disables the interleaved send order, transmitting
+	// each block's shards back to back. The protocol interleaves by
+	// default so a burst-loss period cannot claim several shards of one
+	// block; this switch exists for the ablation experiment.
+	SequentialSend bool
+}
+
+// DefaultConfig returns the paper's default parameters: k=10, adaptive
+// rho starting at 1, numNACK target 20 (cap 100), switch to unicast
+// after 2 multicast rounds, deadline 2 rounds, 10 packets/second.
+func DefaultConfig() Config {
+	return Config{
+		K:                  10,
+		InitialRho:         1.0,
+		AdaptiveRho:        true,
+		NumNACK:            20,
+		MaxNACK:            100,
+		AdaptNumNACK:       false,
+		MaxMulticastRounds: 2,
+		EarlyUnicast:       false,
+		DeadlineRounds:     2,
+		SendInterval:       0.100,
+		RoundSlack:         0.500,
+		UnicastInterval:    0.200,
+	}
+}
+
+func (c Config) validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("protocol: block size %d", c.K)
+	}
+	if c.SendInterval <= 0 {
+		return fmt.Errorf("protocol: send interval %v", c.SendInterval)
+	}
+	if c.NumNACK < 0 || c.MaxNACK < 0 {
+		return fmt.Errorf("protocol: negative NACK target")
+	}
+	if c.AdaptNumNACK && c.DeadlineRounds <= 0 {
+		return fmt.Errorf("protocol: AdaptNumNACK requires DeadlineRounds > 0")
+	}
+	return nil
+}
+
+// Message is the transport-level description of one rekey message: its
+// ENC packets, their user ranges, and which packet each user needs.
+// Build one with BuildMessage.
+type Message struct {
+	// Part partitions the NumEnc real packets into blocks of K.
+	Part blockplan.Partition
+	// UserPkt[i] is user i's specific ENC packet index, or -1 if user i
+	// needs nothing this interval.
+	UserPkt []int
+	// FrmID and ToID give each real packet's user-ID range.
+	FrmID, ToID []int
+	// UserNodeID maps user index to key tree node ID.
+	UserNodeID []int
+	// EncsPerUser is how many encryptions each user needs (sizes its
+	// USR packet).
+	EncsPerUser []int
+	// MaxKID is field 5 of every ENC packet.
+	MaxKID int
+	// TreeDegree is the key tree degree (estimation uses it).
+	TreeDegree int
+}
+
+// NumEnc returns h, the number of real ENC packets in the message.
+func (m *Message) NumEnc() int { return m.Part.NumReal }
+
+// BuildMessage assembles the transport descriptor for a batch result and
+// its UKA plan, with FEC block size k. The network's user index i is
+// identified with res.UserIDs[i].
+func BuildMessage(res *keytree.BatchResult, plan *assign.Plan, k, treeDegree int) (*Message, error) {
+	part, err := blockplan.NewPartition(len(plan.Packets), k)
+	if err != nil {
+		return nil, err
+	}
+	m := &Message{
+		Part:        part,
+		UserPkt:     make([]int, len(res.UserIDs)),
+		FrmID:       make([]int, len(plan.Packets)),
+		ToID:        make([]int, len(plan.Packets)),
+		UserNodeID:  append([]int(nil), res.UserIDs...),
+		EncsPerUser: make([]int, len(res.UserIDs)),
+		MaxKID:      res.MaxKID,
+		TreeDegree:  treeDegree,
+	}
+	for i, pp := range plan.Packets {
+		m.FrmID[i], m.ToID[i] = pp.FrmID, pp.ToID
+	}
+	for i, nodeID := range res.UserIDs {
+		if pi, ok := plan.UserPacket[nodeID]; ok {
+			m.UserPkt[i] = pi
+		} else {
+			m.UserPkt[i] = -1
+		}
+		m.EncsPerUser[i] = len(res.UserNeedIDs(nodeID))
+	}
+	return m, nil
+}
+
+// Metrics reports one rekey message's transport outcome.
+type Metrics struct {
+	MsgID         int
+	RhoUsed       float64
+	NumNACKTarget int
+	EncPackets    int // h: real ENC packets
+	Blocks        int
+	// MulticastSent is h': every multicast packet sent (ENC packets
+	// including last-block duplicates, plus all PARITY packets, across
+	// all rounds).
+	MulticastSent int
+	ParitySent    int
+	DupSent       int
+	Round1NACKs   int
+	NACKsPerRound []int
+	// MulticastRounds is the number of multicast rounds run.
+	MulticastRounds int
+	UsrSent         int
+	UnicastWaves    int
+	// UserRoundHist maps finishing round to user count. Multicast
+	// finishers record their round (1-based); unicast finishers record
+	// MulticastRounds + wave.
+	UserRoundHist  map[int]int
+	MissedDeadline int
+	// NeededUsers is how many users needed any packet this message.
+	NeededUsers int
+	AllDone     bool
+	// Elapsed is simulated seconds from first send to completion.
+	Elapsed float64
+}
+
+// BandwidthOverhead is h'/h, the server multicast bandwidth overhead.
+func (m *Metrics) BandwidthOverhead() float64 {
+	if m.EncPackets == 0 {
+		return 0
+	}
+	return float64(m.MulticastSent) / float64(m.EncPackets)
+}
+
+// AvgUserRounds is the mean finishing round over users that needed
+// packets.
+func (m *Metrics) AvgUserRounds() float64 {
+	total, n := 0, 0
+	for r, c := range m.UserRoundHist {
+		total += r * c
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// Session runs rekey messages over one network, carrying the adaptive
+// state (rho and the NACK target) across messages as the key server
+// does.
+type Session struct {
+	cfg     Config
+	net     *netsim.Star
+	rho     float64
+	numNACK int
+	now     float64
+	msgSeq  int
+	rng     *rand.Rand
+}
+
+// NewSession creates a session. The star network's user count fixes the
+// group size every message must match.
+func NewSession(cfg Config, net *netsim.Star, seed uint64) (*Session, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Session{
+		cfg:     cfg,
+		net:     net,
+		rho:     cfg.InitialRho,
+		numNACK: cfg.NumNACK,
+		rng:     rand.New(rand.NewPCG(seed, 0x5e55)),
+	}, nil
+}
+
+// Rho returns the proactivity factor the next message will use.
+func (s *Session) Rho() float64 { return s.rho }
+
+// NumNACK returns the current first-round NACK target.
+func (s *Session) NumNACK() int { return s.numNACK }
+
+// userState is the engine's per-user transport state for one message.
+type userState struct {
+	pkt         int // specific real ENC packet index; -1 = nothing needed
+	block       int
+	counts      []uint16 // shards received per block
+	est         blockplan.Estimator
+	gotSpecific bool
+	doneRound   int // 0 = pending; >0 finishing round index
+}
+
+func (u *userState) done() bool { return u.pkt < 0 || u.doneRound > 0 }
+
+// recovered reports whether the user can produce its specific packet:
+// it received it directly, or holds >= k shards of its block.
+func (u *userState) recovered(k int) bool {
+	return u.gotSpecific || int(u.counts[u.block]) >= k
+}
+
+// Run executes the transport protocol for one rekey message and returns
+// its metrics. An empty message (no ENC packets) returns immediately.
+func (s *Session) Run(msg *Message) (*Metrics, error) {
+	if len(msg.UserPkt) != s.net.N() {
+		return nil, fmt.Errorf("protocol: message for %d users on a %d-user network", len(msg.UserPkt), s.net.N())
+	}
+	cfg := s.cfg
+	k := cfg.K
+	if msg.Part.K != k {
+		return nil, fmt.Errorf("protocol: message partition uses k=%d, session k=%d", msg.Part.K, k)
+	}
+	met := &Metrics{
+		MsgID:         s.msgSeq,
+		RhoUsed:       s.rho,
+		NumNACKTarget: s.numNACK,
+		EncPackets:    msg.NumEnc(),
+		Blocks:        msg.Part.NumBlocks(),
+		UserRoundHist: make(map[int]int),
+	}
+	s.msgSeq++
+	if msg.NumEnc() == 0 {
+		met.AllDone = true
+		return met, nil
+	}
+
+	blocks := msg.Part.NumBlocks()
+	users := make([]userState, len(msg.UserPkt))
+	pending := 0
+	for i := range users {
+		users[i] = userState{pkt: msg.UserPkt[i], est: blockplan.NewEstimator()}
+		if msg.UserPkt[i] >= 0 {
+			users[i].block, _ = msg.Part.Slot(msg.UserPkt[i])
+			users[i].counts = make([]uint16, blocks)
+			pending++
+		}
+	}
+	met.NeededUsers = pending
+
+	start := s.now
+	nextParity := make([]int, blocks) // next fresh parity shard index per block
+	for b := range nextParity {
+		nextParity[b] = k
+	}
+
+	// feedback aggregates one round's NACKs.
+	type feedback struct {
+		nacks int
+		a     []int // per-NACK maximum parity request
+		amax  []int // per-block maximum parity request
+	}
+
+	const maxRounds = 64
+	round := 0
+	var lastFb feedback
+	for {
+		round++
+		var refs []blockplan.Ref
+		perBlock := make([][]int, blocks)
+		if round == 1 {
+			pro := blockplan.ProactiveParity(k, s.rho)
+			for b := 0; b < blocks; b++ {
+				for sh := 0; sh < k+pro; sh++ {
+					perBlock[b] = append(perBlock[b], sh)
+				}
+			}
+		} else {
+			for b := 0; b < blocks; b++ {
+				for j := 0; j < lastFb.amax[b]; j++ {
+					perBlock[b] = append(perBlock[b], nextParity[b])
+					nextParity[b]++
+				}
+			}
+		}
+		if cfg.SequentialSend {
+			for b, shards := range perBlock {
+				for _, sh := range shards {
+					refs = append(refs, blockplan.Ref{Block: b, Shard: sh})
+				}
+			}
+		} else {
+			refs = blockplan.Interleave(perBlock)
+		}
+		met.MulticastSent += len(refs)
+		for _, r := range refs {
+			switch {
+			case r.IsParity(k):
+				met.ParitySent++
+			case msg.Part.IsDuplicate(r.Block, r.Shard):
+				met.DupSent++
+			}
+		}
+		times := make([]float64, len(refs))
+		for i := range times {
+			times[i] = s.now + float64(i)*cfg.SendInterval
+		}
+		rd := s.net.MulticastRound(times)
+		s.now += float64(len(refs))*cfg.SendInterval + cfg.RoundSlack
+
+		fb := s.processRound(msg, users, refs, rd, round, blocks, met)
+		met.NACKsPerRound = append(met.NACKsPerRound, fb.nacks)
+		if round == 1 {
+			met.Round1NACKs = fb.nacks
+			if cfg.AdaptiveRho {
+				s.adjustRho(fb.a)
+			}
+		}
+		lastFb = fb
+		met.MulticastRounds = round
+
+		if fb.nacks == 0 {
+			met.AllDone = true
+			break
+		}
+		if cfg.MaxMulticastRounds > 0 && round >= cfg.MaxMulticastRounds {
+			break
+		}
+		if cfg.EarlyUnicast && s.usrBytes(msg, users) <= s.parityBytes(fb.amax) {
+			break
+		}
+		if round >= maxRounds {
+			break
+		}
+	}
+
+	// Deadline accounting happens at the multicast/unicast boundary:
+	// a user meets the deadline iff it recovered within DeadlineRounds
+	// multicast rounds.
+	if cfg.DeadlineRounds > 0 {
+		for i := range users {
+			u := &users[i]
+			if u.pkt < 0 {
+				continue
+			}
+			if u.doneRound == 0 || u.doneRound > cfg.DeadlineRounds {
+				met.MissedDeadline++
+			}
+		}
+		if cfg.AdaptNumNACK {
+			if met.MissedDeadline == 0 {
+				s.numNACK = min(s.numNACK+1, cfg.MaxNACK)
+			} else {
+				s.numNACK = max(s.numNACK-met.MissedDeadline, 0)
+			}
+		}
+	}
+
+	if !met.AllDone {
+		s.unicast(msg, users, met)
+	}
+	met.Elapsed = s.now - start
+	// Idle gap between rekey messages keeps link processes realistic.
+	s.now += cfg.RoundSlack
+	return met, nil
+}
+
+// processRound distributes one round's deliveries to the pending users
+// (in parallel) and aggregates their feedback.
+func (s *Session) processRound(msg *Message, users []userState, refs []blockplan.Ref, rd *netsim.RoundDelivery, round, blocks int, met *Metrics) (fb struct {
+	nacks int
+	a     []int
+	amax  []int
+}) {
+	k := s.cfg.K
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type partial struct {
+		nacks int
+		a     []int
+		amax  []int
+		hist  map[int]int
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	chunk := (len(users) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, len(users))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			p := &parts[w]
+			p.amax = make([]int, blocks)
+			p.hist = make(map[int]int)
+			for ui := lo; ui < hi; ui++ {
+				u := &users[ui]
+				if u.done() {
+					// Done users still consume the round so their link
+					// processes advance deterministically.
+					rd.Received(ui)
+					continue
+				}
+				for _, idx := range rd.Received(ui) {
+					r := refs[idx]
+					u.counts[r.Block]++
+					if !r.IsParity(k) {
+						real := msg.Part.RealIndex(r.Block, r.Shard)
+						if real == u.pkt {
+							u.gotSpecific = true
+						}
+						if !msg.Part.IsDuplicate(r.Block, r.Shard) {
+							u.est.Observe(msg.UserNodeID[ui], blockplan.ENCHeader{
+								BlockID: r.Block, Seq: r.Shard,
+								FrmID: msg.FrmID[real], ToID: msg.ToID[real],
+								MaxKID: msg.MaxKID,
+							}, k, msg.TreeDegree)
+						}
+					}
+				}
+				if u.recovered(k) {
+					u.doneRound = round
+					p.hist[round]++
+					continue
+				}
+				// NACK: request parity for each block in the estimated
+				// range still short of k.
+				lo, hi := u.est.Low, u.est.High
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > blocks-1 {
+					hi = blocks - 1
+				}
+				maxA := 0
+				for b := lo; b <= hi; b++ {
+					if a := k - int(u.counts[b]); a > 0 {
+						if a > p.amax[b] {
+							p.amax[b] = a
+						}
+						if a > maxA {
+							maxA = a
+						}
+					}
+				}
+				if maxA > 0 {
+					p.nacks++
+					p.a = append(p.a, maxA)
+				} else {
+					// The estimated range is fully stocked yet the user
+					// could not decode its packet: only possible when the
+					// range excludes the true block, which the estimator
+					// forbids. Guard regardless.
+					p.nacks++
+					p.a = append(p.a, 1)
+					if p.amax[u.block] < 1 {
+						p.amax[u.block] = 1
+					}
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	fb.amax = make([]int, blocks)
+	for _, p := range parts {
+		fb.nacks += p.nacks
+		fb.a = append(fb.a, p.a...)
+		for b, v := range p.amax {
+			if v > fb.amax[b] {
+				fb.amax[b] = v
+			}
+		}
+		for r, c := range p.hist {
+			met.UserRoundHist[r] += c
+		}
+	}
+	return fb
+}
+
+// adjustRho implements the AdjustRho algorithm (Fig. 11) on the
+// first-round NACK list.
+func (s *Session) adjustRho(a []int) {
+	k := s.cfg.K
+	target := s.numNACK
+	switch {
+	case len(a) > target:
+		sort.Sort(sort.Reverse(sort.IntSlice(a)))
+		add := a[target] // the (numNACK+1)-th largest request
+		s.rho = (float64(add) + math.Ceil(float64(k)*s.rho-1e-9)) / float64(k)
+	case len(a) < target:
+		prob := math.Max(0, float64(target-len(a)*2)/float64(target))
+		if s.rng.Float64() < prob {
+			s.rho = math.Max(0, math.Ceil(float64(k)*s.rho-1-1e-9)) / float64(k)
+		}
+	}
+}
+
+// usrBytes is the total size of the USR packets (plus UDP headers) that
+// unicasting now would send to the still-pending users.
+func (s *Session) usrBytes(msg *Message, users []userState) int {
+	const udpHeader = 8
+	total := 0
+	for i := range users {
+		if users[i].done() {
+			continue
+		}
+		total += 5 + packet.EncEntryLen*msg.EncsPerUser[i] + udpHeader
+	}
+	return total
+}
+
+// parityBytes is the size of the PARITY packets the next multicast round
+// would send.
+func (s *Session) parityBytes(amax []int) int {
+	const udpHeader = 8
+	n := 0
+	for _, a := range amax {
+		n += a
+	}
+	return n * (packet.PacketLen + udpHeader)
+}
+
+// unicast implements Switch2Unicast (Fig. 22): wave w sends w+1
+// duplicate USR packets to each pending user, starting at 2 duplicates,
+// until every user has recovered.
+func (s *Session) unicast(msg *Message, users []userState, met *Metrics) {
+	pendingIdx := make([]int, 0)
+	for i := range users {
+		if !users[i].done() {
+			pendingIdx = append(pendingIdx, i)
+		}
+	}
+	const maxWaves = 50
+	dups := 2
+	for wave := 1; len(pendingIdx) > 0 && wave <= maxWaves; wave++ {
+		var still []int
+		for _, ui := range pendingIdx {
+			got := false
+			for j := 0; j < dups; j++ {
+				met.UsrSent++
+				// Duplicates of one wave go out back to back; distinct
+				// users' sends share the wave window.
+				t := s.now + float64(j)*0.001
+				if s.net.Unicast(ui, t) {
+					got = true
+				}
+			}
+			if got {
+				users[ui].doneRound = met.MulticastRounds + wave
+				met.UserRoundHist[met.MulticastRounds+wave]++
+			} else {
+				still = append(still, ui)
+			}
+		}
+		s.now += s.cfg.UnicastInterval
+		met.UnicastWaves = wave
+		pendingIdx = still
+		dups++
+	}
+	met.AllDone = len(pendingIdx) == 0
+}

@@ -1,0 +1,129 @@
+// Package stats provides the small summary-statistics helpers the
+// experiment harness uses: means, percentiles, and labelled series
+// accumulation for figure regeneration.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0
+// for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between order statistics. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,100]", p))
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	if len(ys) == 1 {
+		return ys[0]
+	}
+	pos := p / 100 * float64(len(ys)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return ys[lo]
+	}
+	frac := pos - float64(lo)
+	return ys[lo]*(1-frac) + ys[hi]*frac
+}
+
+// Accumulator ingests samples and summarises them.
+type Accumulator struct {
+	xs []float64
+}
+
+// Add appends a sample.
+func (a *Accumulator) Add(x float64) { a.xs = append(a.xs, x) }
+
+// AddInt appends an integer sample.
+func (a *Accumulator) AddInt(x int) { a.Add(float64(x)) }
+
+// N returns the sample count.
+func (a *Accumulator) N() int { return len(a.xs) }
+
+// Mean returns the sample mean.
+func (a *Accumulator) Mean() float64 { return Mean(a.xs) }
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return StdDev(a.xs) }
+
+// Min returns the smallest sample, or +Inf if empty.
+func (a *Accumulator) Min() float64 {
+	m := math.Inf(1)
+	for _, x := range a.xs {
+		m = math.Min(m, x)
+	}
+	return m
+}
+
+// Max returns the largest sample, or -Inf if empty.
+func (a *Accumulator) Max() float64 {
+	m := math.Inf(-1)
+	for _, x := range a.xs {
+		m = math.Max(m, x)
+	}
+	return m
+}
+
+// Point is one (x, y) sample of a plotted series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points, one line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Figure is a set of series sharing axes: one regenerated paper figure.
+type Figure struct {
+	ID     string // e.g. "F9l"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewSeries adds and returns a fresh series with the given label.
+func (f *Figure) NewSeries(label string) *Series {
+	s := &Series{Label: label}
+	f.Series = append(f.Series, s)
+	return s
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of one sample != 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2},
+	} {
+		if got := Percentile(xs, tc.p); got != tc.want {
+			t.Errorf("P%v = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	// Input must not be reordered.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	for i := 1; i <= 10; i++ {
+		a.AddInt(i)
+	}
+	if a.N() != 10 || a.Mean() != 5.5 || a.Min() != 1 || a.Max() != 10 {
+		t.Errorf("accumulator summary wrong: n=%d mean=%v min=%v max=%v", a.N(), a.Mean(), a.Min(), a.Max())
+	}
+}
+
+func TestFigureSeries(t *testing.T) {
+	f := &Figure{ID: "F9l"}
+	s := f.NewSeries("alpha=20%")
+	s.Add(1, 100)
+	s.Add(2, 10)
+	if len(f.Series) != 1 || len(f.Series[0].Points) != 2 {
+		t.Fatal("series bookkeeping broken")
+	}
+	if f.Series[0].Points[1] != (Point{2, 10}) {
+		t.Fatal("point mismatch")
+	}
+}
+
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return Mean(xs) == 0
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip floats whose sum could overflow
+			}
+		}
+		m := Mean(xs)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		return m >= lo-1e-9*math.Abs(lo)-1e-9 && m <= hi+1e-9*math.Abs(hi)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

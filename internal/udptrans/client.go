@@ -1,0 +1,123 @@
+package udptrans
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	rekey "repro"
+)
+
+// Client is a group member's transport endpoint: it receives multicast
+// and unicast packets on its own UDP socket, feeds them to the member
+// state machine, and sends a NACK to the key server whenever the packet
+// stream pauses while the member is still missing keys.
+type Client struct {
+	Member *rekey.Member
+
+	conn   *net.UDPConn
+	server *net.UDPAddr
+
+	// Drop, when non-nil, is a test-only fault injector: packets for
+	// which it returns true are discarded before ingestion, emulating a
+	// lossy receiver link.
+	Drop func(pkt []byte) bool
+
+	// QuietGap is how long the packet stream must pause before the
+	// client concludes a round ended and emits a NACK.
+	QuietGap time.Duration
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// NewClient binds a member socket on an ephemeral loopback port and
+// targets NACKs at serverAddr.
+func NewClient(cred rekey.Credentials, serverAddr *net.UDPAddr) (*Client, error) {
+	return NewClientAt(cred, serverAddr, "127.0.0.1:0")
+}
+
+// NewClientAt is NewClient with an explicit local listen address, for
+// members that registered an address before constructing the client.
+func NewClientAt(cred rekey.Credentials, serverAddr *net.UDPAddr, local string) (*Client, error) {
+	la, err := net.ResolveUDPAddr("udp", local)
+	if err != nil {
+		return nil, fmt.Errorf("udptrans: client listen addr: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("udptrans: client listen: %w", err)
+	}
+	return NewClientOnConn(cred, serverAddr, conn)
+}
+
+// NewClientOnConn builds a client over an already-bound socket. Members
+// bind before registering so that packets distributed while
+// registration completes queue in the socket buffer instead of being
+// lost; Run drains them.
+func NewClientOnConn(cred rekey.Credentials, serverAddr *net.UDPAddr, conn *net.UDPConn) (*Client, error) {
+	m, err := rekey.NewMember(cred)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Client{
+		Member:   m,
+		conn:     conn,
+		server:   serverAddr,
+		QuietGap: 60 * time.Millisecond,
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the client's bound address, to register with the server.
+func (c *Client) Addr() *net.UDPAddr { return c.conn.LocalAddr().(*net.UDPAddr) }
+
+// Close stops the receive loop and releases the socket.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+// Run receives packets until Close. It is typically run in its own
+// goroutine. Transient ingest errors (e.g. packets for other members)
+// are counted, not fatal.
+func (c *Client) Run() {
+	defer close(c.done)
+	buf := make([]byte, 2048)
+	for {
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.QuietGap)); err != nil {
+			return
+		}
+		n, _, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				// Stream pause: the round is over from this member's
+				// perspective; NACK if still pending.
+				if nack, ok := c.Member.NACK(); ok {
+					if raw, err := nack.Marshal(); err == nil {
+						c.conn.WriteToUDP(raw, c.server) //nolint:errcheck
+					}
+				}
+				continue
+			}
+			return // socket closed
+		}
+		pkt := buf[:n]
+		if c.Drop != nil && c.Drop(pkt) {
+			continue
+		}
+		// Copy: Ingest retains payload slices.
+		c.Member.Ingest(append([]byte(nil), pkt...)) //nolint:errcheck
+	}
+}

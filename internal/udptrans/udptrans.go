@@ -1,0 +1,314 @@
+// Package udptrans runs the rekey transport protocol over real UDP
+// sockets: the key server multicasts ENC and PARITY packets (emulated
+// as a unicast fan-out, which keeps the code portable to hosts without
+// multicast routing), collects NACKs for a round, retransmits fresh
+// parity, and finally unicasts USR packets with escalating duplication
+// -- the same state machine internal/protocol simulates, driving real
+// bytes through real sockets.
+package udptrans
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	rekey "repro"
+	"repro/internal/blockplan"
+	"repro/internal/packet"
+)
+
+// Server distributes rekey messages to registered member addresses.
+type Server struct {
+	ks   *rekey.Server
+	conn *net.UDPConn
+
+	mu    sync.Mutex
+	addrs map[rekey.MemberID]*net.UDPAddr
+
+	// lastAmax carries the previous round's per-block parity demand;
+	// Distribute is single-flight per server.
+	lastAmax []int
+}
+
+// NewServer binds a UDP socket (addr like "127.0.0.1:0") for the key
+// server's transport.
+func NewServer(ks *rekey.Server, addr string) (*Server, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udptrans: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("udptrans: %w", err)
+	}
+	return &Server{ks: ks, conn: conn, addrs: make(map[rekey.MemberID]*net.UDPAddr)}, nil
+}
+
+// Addr returns the server's bound address (for clients' NACKs).
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Close releases the socket.
+func (s *Server) Close() error { return s.conn.Close() }
+
+// SetMemberAddr registers (or updates) the delivery address of a member.
+func (s *Server) SetMemberAddr(id rekey.MemberID, addr *net.UDPAddr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addrs[id] = addr
+}
+
+// RemoveMemberAddr unregisters a departed member.
+func (s *Server) RemoveMemberAddr(id rekey.MemberID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.addrs, id)
+}
+
+func (s *Server) addrList() []*net.UDPAddr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*net.UDPAddr, 0, len(s.addrs))
+	for _, a := range s.addrs {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Options tune one Distribute run.
+type Options struct {
+	// Rho is the proactivity factor for round 1.
+	Rho float64
+	// RoundDur is how long the server listens for NACKs after each
+	// multicast round (covers the maximum member RTT).
+	RoundDur time.Duration
+	// MaxMulticastRounds bounds the multicast phase before unicast
+	// (the paper suggests 1 or 2).
+	MaxMulticastRounds int
+	// MaxUnicastWaves bounds the unicast retransmission phase.
+	MaxUnicastWaves int
+	// SendInterval paces multicast sends; zero sends back to back.
+	SendInterval time.Duration
+}
+
+// DefaultOptions returns values suitable for LAN/loopback operation.
+func DefaultOptions() Options {
+	return Options{
+		Rho:                1.2,
+		RoundDur:           150 * time.Millisecond,
+		MaxMulticastRounds: 2,
+		MaxUnicastWaves:    8,
+	}
+}
+
+// Stats reports one distribution run.
+type Stats struct {
+	EncSent       int
+	ParitySent    int
+	UsrSent       int
+	Rounds        int
+	UnicastWaves  int
+	NACKsPerRound []int
+}
+
+// Distribute runs the full transport protocol for one rekey message.
+// It returns once the NACK stream has gone quiet (all members done or
+// the unicast wave budget is exhausted).
+func (s *Server) Distribute(rm *rekey.RekeyMessage, opts Options) (*Stats, error) {
+	if len(rm.ENC) == 0 {
+		return &Stats{}, nil
+	}
+	if opts.RoundDur <= 0 {
+		opts.RoundDur = 150 * time.Millisecond
+	}
+	if opts.MaxMulticastRounds <= 0 {
+		opts.MaxMulticastRounds = 2
+	}
+	if opts.MaxUnicastWaves <= 0 {
+		opts.MaxUnicastWaves = 8
+	}
+	st := &Stats{}
+	k := rm.Part.K
+	blocks := rm.Part.NumBlocks()
+	nextParity := make([]int, blocks)
+	for b := range nextParity {
+		nextParity[b] = 0
+	}
+
+	// pendingUsers accumulates node IDs that NACKed and may need USR
+	// packets in the unicast phase.
+	pendingUsers := make(map[int]bool)
+
+	for round := 1; ; round++ {
+		var refs []blockplan.Ref
+		if round == 1 {
+			refs = blockplan.RoundOne(rm.Part, opts.Rho)
+			for b := range nextParity {
+				nextParity[b] = blockplan.ProactiveParity(k, opts.Rho)
+			}
+		} else {
+			perBlock := make([][]int, blocks)
+			for b := 0; b < blocks; b++ {
+				for j := 0; j < s.lastAmax[b]; j++ {
+					perBlock[b] = append(perBlock[b], k+nextParity[b])
+					nextParity[b]++
+				}
+			}
+			refs = blockplan.Interleave(perBlock)
+		}
+		if err := s.multicastRefs(rm, refs, opts.SendInterval, st); err != nil {
+			return st, err
+		}
+		st.Rounds = round
+
+		nacks, amax, users, err := s.collectNACKs(rm, blocks, k, opts.RoundDur)
+		if err != nil {
+			return st, err
+		}
+		st.NACKsPerRound = append(st.NACKsPerRound, nacks)
+		for u := range users {
+			pendingUsers[u] = true
+		}
+		if nacks == 0 {
+			return st, nil
+		}
+		s.lastAmax = amax
+		if round >= opts.MaxMulticastRounds {
+			break
+		}
+	}
+
+	// Unicast phase: escalating duplicates per Fig. 22.
+	dups := 2
+	for wave := 1; wave <= opts.MaxUnicastWaves && len(pendingUsers) > 0; wave++ {
+		st.UnicastWaves = wave
+		if err := s.unicastUSR(rm, pendingUsers, dups, st); err != nil {
+			return st, err
+		}
+		dups++
+		nacks, _, users, err := s.collectNACKs(rm, blocks, k, opts.RoundDur)
+		if err != nil {
+			return st, err
+		}
+		st.NACKsPerRound = append(st.NACKsPerRound, nacks)
+		pendingUsers = users
+		if nacks == 0 {
+			return st, nil
+		}
+	}
+	if len(pendingUsers) > 0 {
+		return st, fmt.Errorf("udptrans: %d users still pending after unicast budget", len(pendingUsers))
+	}
+	return st, nil
+}
+
+func (s *Server) multicastRefs(rm *rekey.RekeyMessage, refs []blockplan.Ref, pace time.Duration, st *Stats) error {
+	addrs := s.addrList()
+	k := rm.Part.K
+	for _, r := range refs {
+		var raw []byte
+		var err error
+		if r.IsParity(k) {
+			p, perr := rm.Parity(r.Block, r.Shard-k)
+			if perr != nil {
+				return perr
+			}
+			raw, err = p.Marshal()
+			st.ParitySent++
+		} else {
+			raw, err = rm.ENC[r.Block*k+r.Shard].Marshal()
+			st.EncSent++
+		}
+		if err != nil {
+			return err
+		}
+		for _, a := range addrs {
+			if _, err := s.conn.WriteToUDP(raw, a); err != nil {
+				return fmt.Errorf("udptrans: multicast: %w", err)
+			}
+		}
+		if pace > 0 {
+			time.Sleep(pace)
+		}
+	}
+	return nil
+}
+
+// collectNACKs listens for one round duration and aggregates feedback.
+func (s *Server) collectNACKs(rm *rekey.RekeyMessage, blocks, k int, dur time.Duration) (nacks int, amax []int, users map[int]bool, err error) {
+	amax = make([]int, blocks)
+	users = make(map[int]bool)
+	deadline := time.Now().Add(dur)
+	buf := make([]byte, 2048)
+	seen := make(map[uint16]bool)
+	for {
+		if err := s.conn.SetReadDeadline(deadline); err != nil {
+			return 0, nil, nil, err
+		}
+		n, _, rerr := s.conn.ReadFromUDP(buf)
+		if rerr != nil {
+			var ne net.Error
+			if errors.As(rerr, &ne) && ne.Timeout() {
+				return nacks, amax, users, nil
+			}
+			return 0, nil, nil, rerr
+		}
+		typ, derr := packet.Detect(buf[:n])
+		if derr != nil || typ != packet.TypeNACK {
+			continue
+		}
+		nk, perr := packet.ParseNACK(append([]byte(nil), buf[:n]...))
+		if perr != nil || nk.MsgID != rm.MsgID {
+			continue
+		}
+		if seen[nk.UserID] {
+			continue // one NACK per user per round
+		}
+		seen[nk.UserID] = true
+		nacks++
+		users[int(nk.UserID)] = true
+		for _, r := range nk.Requests {
+			if int(r.BlockID) < blocks && int(r.Count) > amax[r.BlockID] {
+				amax[r.BlockID] = int(r.Count)
+			}
+		}
+	}
+}
+
+func (s *Server) unicastUSR(rm *rekey.RekeyMessage, users map[int]bool, dups int, st *Stats) error {
+	// Map node IDs back to member addresses via the server's group view.
+	for nodeID := range users {
+		usr, err := rm.USRFor(nodeID)
+		if err != nil {
+			return err
+		}
+		raw, err := usr.Marshal()
+		if err != nil {
+			return err
+		}
+		addr := s.addrForNode(nodeID)
+		if addr == nil {
+			continue // member departed or unknown
+		}
+		for j := 0; j < dups; j++ {
+			if _, err := s.conn.WriteToUDP(raw, addr); err != nil {
+				return fmt.Errorf("udptrans: unicast: %w", err)
+			}
+			st.UsrSent++
+		}
+	}
+	return nil
+}
+
+// addrForNode resolves a key tree node ID to a registered address.
+func (s *Server) addrForNode(nodeID int) *net.UDPAddr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, a := range s.addrs {
+		if cred, ok := s.ks.Credentials(id); ok && cred.NodeID == nodeID {
+			return a
+		}
+	}
+	return nil
+}

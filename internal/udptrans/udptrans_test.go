@@ -1,0 +1,199 @@
+package udptrans
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	rekey "repro"
+	"repro/internal/packet"
+)
+
+// group spins up a key server, UDP transport server, and n clients on
+// loopback, bootstrapped through the first rekey message.
+func group(t *testing.T, n int, seed uint64, drop func(i int) func([]byte) bool) (*rekey.Server, *Server, map[rekey.MemberID]*Client) {
+	t.Helper()
+	ks, err := rekey.NewServer(rekey.Config{KeySeed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ks, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	for i := 0; i < n; i++ {
+		if err := ks.QueueJoin(rekey.MemberID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rm, err := ks.Rekey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make(map[rekey.MemberID]*Client, n)
+	for i := 0; i < n; i++ {
+		cred, ok := ks.Credentials(rekey.MemberID(i))
+		if !ok {
+			t.Fatalf("no credentials for %d", i)
+		}
+		c, err := NewClient(cred, srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drop != nil {
+			c.Drop = drop(i)
+		}
+		clients[rekey.MemberID(i)] = c
+		srv.SetMemberAddr(rekey.MemberID(i), c.Addr())
+		go c.Run()
+		t.Cleanup(func() { c.Close() })
+	}
+	if _, err := srv.Distribute(rm, DefaultOptions()); err != nil {
+		t.Fatalf("bootstrap distribute: %v", err)
+	}
+	waitKeyed(t, ks, clients, 3*time.Second)
+	return ks, srv, clients
+}
+
+func waitKeyed(t *testing.T, ks *rekey.Server, clients map[rekey.MemberID]*Client, timeout time.Duration) {
+	t.Helper()
+	want := ks.GroupKey()
+	deadline := time.Now().Add(timeout)
+	for {
+		all := true
+		for _, c := range clients {
+			gk, ok := c.Member.GroupKey()
+			if !ok || gk != want {
+				all = false
+				break
+			}
+		}
+		if all {
+			return
+		}
+		if time.Now().After(deadline) {
+			for id, c := range clients {
+				gk, ok := c.Member.GroupKey()
+				if !ok || gk != want {
+					t.Errorf("member %d not keyed (ok=%v)", id, ok)
+				}
+			}
+			t.Fatal("timeout waiting for members to key")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestLoopbackLossless(t *testing.T) {
+	ks, srv, clients := group(t, 20, 1, nil)
+	// Churn: 3 leave, 2 join.
+	for _, id := range []rekey.MemberID{2, 5, 11} {
+		if err := ks.QueueLeave(id); err != nil {
+			t.Fatal(err)
+		}
+		clients[id].Close()
+		srv.RemoveMemberAddr(id)
+		delete(clients, id)
+	}
+	for _, id := range []rekey.MemberID{100, 101} {
+		if err := ks.QueueJoin(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rm, err := ks.Rekey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []rekey.MemberID{100, 101} {
+		cred, ok := ks.Credentials(id)
+		if !ok {
+			t.Fatalf("no credentials for %d", id)
+		}
+		c, err := NewClient(cred, srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[id] = c
+		srv.SetMemberAddr(id, c.Addr())
+		go c.Run()
+		t.Cleanup(func() { c.Close() })
+	}
+	st, err := srv.Distribute(rm, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EncSent == 0 {
+		t.Fatal("no ENC packets sent")
+	}
+	waitKeyed(t, ks, clients, 3*time.Second)
+}
+
+func TestLoopbackWithLoss(t *testing.T) {
+	// A quarter of the members drop 30% of multicast packets: recovery
+	// must proceed through NACK-driven parity and, if needed, unicast.
+	drop := func(i int) func([]byte) bool {
+		if i%4 != 0 {
+			return nil
+		}
+		rng := rand.New(rand.NewPCG(uint64(i), 77))
+		return func(pkt []byte) bool {
+			typ, err := packet.Detect(pkt)
+			if err != nil {
+				return false
+			}
+			// Never drop USR: the escalating-duplicate unicast stage
+			// bounds retries; dropping all duplicates forever would
+			// just slow the test.
+			if typ == packet.TypeUSR {
+				return false
+			}
+			return rng.Float64() < 0.3
+		}
+	}
+	ks, srv, clients := group(t, 24, 2, drop)
+
+	for i := 0; i < 6; i++ {
+		id := rekey.MemberID(i*4 + 1)
+		if err := ks.QueueLeave(id); err != nil {
+			t.Fatal(err)
+		}
+		clients[id].Close()
+		srv.RemoveMemberAddr(id)
+		delete(clients, id)
+	}
+	rm, err := ks.Rekey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Rho = 1.0 // force reactive recovery
+	st, err := srv.Distribute(rm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitKeyed(t, ks, clients, 5*time.Second)
+	if len(st.NACKsPerRound) == 0 {
+		t.Fatal("no NACK rounds recorded")
+	}
+}
+
+func TestDistributeEmptyMessage(t *testing.T) {
+	ks, err := rekey.NewServer(rekey.Config{KeySeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ks, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	st, err := srv.Distribute(&rekey.RekeyMessage{}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EncSent != 0 {
+		t.Fatal("sent packets for an empty message")
+	}
+}

@@ -1,0 +1,293 @@
+package rekey
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/blockplan"
+	"repro/internal/fec"
+	"repro/internal/keys"
+	"repro/internal/keytree"
+	"repro/internal/packet"
+)
+
+// Member is the client side of the rekey protocol: it ingests raw
+// ENC/PARITY/USR packets, recovers its specific ENC packet (directly or
+// by Reed-Solomon decoding), rederives its node ID each interval, and
+// maintains its view of the group and auxiliary keys. It produces the
+// NACK the user protocol (Fig. 27) would send at a round boundary.
+//
+// Rekey messages must be ingested in interval order (keys of one
+// interval encrypt keys of the next); packets within a message may
+// arrive in any order. Member is safe for concurrent use.
+type Member struct {
+	mu    sync.Mutex
+	view  *keytree.UserView
+	k     int
+	coder *fec.Coder
+	cur   *msgAssembly
+}
+
+// msgAssembly accumulates one rekey message's shards.
+type msgAssembly struct {
+	msgID  uint8
+	est    blockplan.Estimator
+	shards map[int]map[int][]byte // block -> seq -> FEC payload
+	maxKID int
+	done   bool
+}
+
+// NewMember creates a member from its registration credentials.
+func NewMember(c Credentials) (*Member, error) {
+	if c.Degree < 2 || c.BlockSize < 1 {
+		return nil, fmt.Errorf("rekey: bad credentials: degree %d block size %d", c.Degree, c.BlockSize)
+	}
+	coder, err := fec.NewCoder(c.BlockSize, fec.MaxShards-c.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Member{
+		view:  keytree.NewUserView(c.Degree, c.Member, c.NodeID, c.Key),
+		k:     c.BlockSize,
+		coder: coder,
+	}, nil
+}
+
+// ID returns the member's current node ID.
+func (m *Member) ID() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.view.ID
+}
+
+// GroupKey returns the group key as this member knows it.
+func (m *Member) GroupKey() (keys.Key, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.view.GroupKey()
+}
+
+// Keys returns a copy of all keys the member holds, by node ID.
+func (m *Member) Keys() map[int]keys.Key {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]keys.Key, len(m.view.Keys))
+	for id, k := range m.view.Keys {
+		out[id] = k
+	}
+	return out
+}
+
+// Done reports whether the member has recovered its keys for the rekey
+// message currently being assembled (true when idle).
+func (m *Member) Done() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur == nil || m.cur.done
+}
+
+// Ingest consumes one raw packet from the network. It returns true when
+// this packet completed the member's key recovery for the current rekey
+// message.
+func (m *Member) Ingest(raw []byte) (bool, error) {
+	typ, err := packet.Detect(raw)
+	if err != nil {
+		return false, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch typ {
+	case packet.TypeENC:
+		p, err := packet.ParseENC(raw)
+		if err != nil {
+			return false, err
+		}
+		return m.ingestENC(p, raw)
+	case packet.TypePARITY:
+		p, err := packet.ParsePARITY(raw)
+		if err != nil {
+			return false, err
+		}
+		return m.ingestPARITY(p)
+	case packet.TypeUSR:
+		p, err := packet.ParseUSR(raw)
+		if err != nil {
+			return false, err
+		}
+		return m.ingestUSR(p)
+	default:
+		return false, fmt.Errorf("rekey: member received %v packet", typ)
+	}
+}
+
+// assembly returns the current assembly, starting a fresh one when a
+// new message ID appears.
+func (m *Member) assembly(msgID uint8) *msgAssembly {
+	if m.cur == nil || m.cur.msgID != msgID {
+		m.cur = &msgAssembly{
+			msgID:  msgID,
+			est:    blockplan.NewEstimator(),
+			shards: make(map[int]map[int][]byte),
+		}
+	}
+	return m.cur
+}
+
+func (m *Member) ingestENC(p *packet.ENC, raw []byte) (bool, error) {
+	a := m.assembly(p.MsgID)
+	if a.done {
+		return false, nil
+	}
+	a.maxKID = int(p.MaxKID)
+	// Rederive this interval's node ID before the range check.
+	myID, ok := keytree.NewID(m.view.D, m.view.ID, int(p.MaxKID))
+	if !ok {
+		return false, fmt.Errorf("rekey: member %d has no valid ID under maxKID %d", m.view.Member, p.MaxKID)
+	}
+	if int(p.FrmID) <= myID && myID <= int(p.ToID) {
+		if err := m.view.Apply(int(p.MaxKID), p.Encs); err != nil {
+			return false, err
+		}
+		a.done = true
+		return true, nil
+	}
+	if !p.Dup {
+		a.est.Observe(myID, blockplan.ENCHeader{
+			BlockID: int(p.BlockID), Seq: int(p.Seq),
+			FrmID: int(p.FrmID), ToID: int(p.ToID),
+			MaxKID: int(p.MaxKID),
+		}, m.k, m.view.D)
+	}
+	m.store(a, int(p.BlockID), int(p.Seq), raw[packet.FECOffset:])
+	return m.tryDecode(a)
+}
+
+func (m *Member) ingestPARITY(p *packet.PARITY) (bool, error) {
+	a := m.assembly(p.MsgID)
+	if a.done {
+		return false, nil
+	}
+	m.store(a, int(p.BlockID), int(p.Seq), p.Payload)
+	return m.tryDecode(a)
+}
+
+func (m *Member) ingestUSR(p *packet.USR) (bool, error) {
+	a := m.assembly(p.MsgID)
+	if a.done {
+		return false, nil
+	}
+	if err := m.view.Apply(int(p.MaxKID), p.Encs); err != nil {
+		return false, err
+	}
+	if m.view.ID != int(p.NewID) {
+		return false, fmt.Errorf("rekey: USR says ID %d, derived %d", p.NewID, m.view.ID)
+	}
+	a.done = true
+	return true, nil
+}
+
+func (m *Member) store(a *msgAssembly, block, seq int, payload []byte) {
+	blk := a.shards[block]
+	if blk == nil {
+		blk = make(map[int][]byte)
+		a.shards[block] = blk
+	}
+	if _, dup := blk[seq]; !dup {
+		blk[seq] = append([]byte(nil), payload...)
+	}
+}
+
+// tryDecode attempts FEC recovery of every candidate block inside the
+// estimated block-ID range that holds at least k shards; a decoded
+// block that contains the member's packet completes recovery.
+func (m *Member) tryDecode(a *msgAssembly) (bool, error) {
+	lo := a.est.Low
+	if lo < 0 {
+		lo = 0
+	}
+	for block, shardMap := range a.shards {
+		if block < lo || block > a.est.High || len(shardMap) < m.k {
+			continue
+		}
+		shards := make([]fec.Shard, 0, len(shardMap))
+		for seq, payload := range shardMap {
+			shards = append(shards, fec.Shard{Index: seq, Data: payload})
+		}
+		payloads, err := m.coder.Decode(shards)
+		if err != nil {
+			continue // fewer than k distinct shards
+		}
+		for seq, payload := range payloads {
+			full := make([]byte, packet.PacketLen)
+			full[0] = byte(packet.TypeENC)<<6 | a.msgID
+			full[1] = byte(block)
+			full[2] = byte(seq)
+			copy(full[packet.FECOffset:], payload)
+			p, err := packet.ParseENC(full)
+			if err != nil {
+				return false, fmt.Errorf("rekey: decoded block %d slot %d corrupt: %w", block, seq, err)
+			}
+			myID, ok := keytree.NewID(m.view.D, m.view.ID, int(p.MaxKID))
+			if !ok {
+				continue
+			}
+			if int(p.FrmID) <= myID && myID <= int(p.ToID) {
+				if err := m.view.Apply(int(p.MaxKID), p.Encs); err != nil {
+					return false, err
+				}
+				a.done = true
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// NACK returns the feedback the member would send at a round boundary:
+// the parity packets needed per candidate block (Fig. 27). It returns
+// ok=false when the member is done or has seen nothing of the current
+// message.
+func (m *Member) NACK() (*packet.NACK, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a := m.cur
+	if a == nil || a.done || len(a.shards) == 0 {
+		return nil, false
+	}
+	lo, hi := a.est.Low, a.est.High
+	if lo < 0 {
+		lo = 0
+	}
+	// Clamp the upper bound to blocks we can name on the wire.
+	maxSeen := 0
+	for b := range a.shards {
+		if b > maxSeen {
+			maxSeen = b
+		}
+	}
+	if hi > maxSeen+8 {
+		hi = maxSeen + 8 // rule-6 bound can exceed reality; stay modest
+	}
+	if hi > 0xff {
+		hi = 0xff
+	}
+	// Report the rederived (post-batch) node ID so the server can
+	// address a USR packet without translation.
+	id := m.view.ID
+	if nid, ok := keytree.NewID(m.view.D, m.view.ID, a.maxKID); ok {
+		id = nid
+	}
+	n := &packet.NACK{MsgID: a.msgID, UserID: uint16(id)}
+	for b := lo; b <= hi; b++ {
+		need := m.k - len(a.shards[b])
+		if need > 0 {
+			n.Requests = append(n.Requests, packet.BlockRequest{Count: uint8(need), BlockID: uint8(b)})
+		}
+	}
+	if len(n.Requests) == 0 {
+		// Range fully stocked yet undecodable cannot happen (the true
+		// block decodes); report one packet for robustness.
+		n.Requests = append(n.Requests, packet.BlockRequest{Count: 1, BlockID: uint8(lo)})
+	}
+	return n, true
+}

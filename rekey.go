@@ -1,0 +1,311 @@
+// Package rekey is a scalable and reliable group rekeying library: the
+// key management and rekey transport system of "Reliable group
+// rekeying: a performance analysis" (SIGCOMM 2001) and its companion
+// protocol paper.
+//
+// A Server maintains a logical key hierarchy (key tree) over the group
+// members and processes joins and leaves in periodic batches. Each
+// batch yields a RekeyMessage: ENC packets produced by the
+// user-oriented key assignment algorithm (every member's encryptions in
+// one packet), partitioned into FEC blocks for which Reed-Solomon
+// PARITY packets can be generated, plus per-member USR packets for the
+// unicast stage. A Member consumes those packets -- in any mixture of
+// direct reception, FEC recovery and unicast -- and maintains the
+// member's view of the group key.
+//
+// The packet bookkeeping and loss-recovery policy (rounds, NACKs,
+// adaptive proactivity) live in internal/protocol for simulation and in
+// internal/udptrans for the wire; this package is the key-management
+// core both share.
+package rekey
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/assign"
+	"repro/internal/blockplan"
+	"repro/internal/fec"
+	"repro/internal/keys"
+	"repro/internal/keytree"
+	"repro/internal/packet"
+)
+
+// MemberID identifies a group member across its lifetime.
+type MemberID = keytree.Member
+
+// Credentials is what registration hands a member: its u-node ID, its
+// individual key, and the group constants it needs client-side.
+type Credentials struct {
+	Member    MemberID
+	NodeID    int
+	Key       keys.Key
+	Degree    int
+	BlockSize int
+}
+
+// Config configures a Server.
+type Config struct {
+	// Degree is the key tree degree d (default 4).
+	Degree int
+	// BlockSize is the FEC block size k (default 10).
+	BlockSize int
+	// KeySeed, when non-zero, makes key generation deterministic --
+	// for tests and experiments only.
+	KeySeed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Degree == 0 {
+		c.Degree = 4
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 10
+	}
+	return c
+}
+
+// Server is the group key server: registration, key management and
+// rekey message construction. It is safe for concurrent use.
+type Server struct {
+	mu      sync.Mutex
+	cfg     Config
+	tree    *keytree.Tree
+	joins   []MemberID
+	leaves  []MemberID
+	queued  map[MemberID]bool
+	msgSeq  uint8
+	lastMsg *RekeyMessage
+}
+
+// NewServer creates a server with an empty group.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Degree < 2 {
+		return nil, fmt.Errorf("rekey: tree degree %d", cfg.Degree)
+	}
+	if cfg.BlockSize < 1 || cfg.BlockSize > fec.MaxShards/2 {
+		return nil, fmt.Errorf("rekey: block size %d outside [1,%d]", cfg.BlockSize, fec.MaxShards/2)
+	}
+	gen := keys.NewGenerator()
+	if cfg.KeySeed != 0 {
+		gen = keys.NewDeterministicGenerator(cfg.KeySeed)
+	}
+	return &Server{
+		cfg:    cfg,
+		tree:   keytree.New(cfg.Degree, gen),
+		queued: make(map[MemberID]bool),
+	}, nil
+}
+
+// QueueJoin records a join request for the next rekey interval. The
+// member's credentials become available after the next Rekey call.
+func (s *Server) QueueJoin(m MemberID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tree.UserID(m); ok {
+		return fmt.Errorf("rekey: member %d already in the group", m)
+	}
+	if s.queued[m] {
+		return fmt.Errorf("rekey: member %d already queued", m)
+	}
+	s.queued[m] = true
+	s.joins = append(s.joins, m)
+	return nil
+}
+
+// QueueLeave records a leave request for the next rekey interval.
+func (s *Server) QueueLeave(m MemberID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tree.UserID(m); !ok {
+		return fmt.Errorf("rekey: member %d not in the group", m)
+	}
+	if s.queued[m] {
+		return fmt.Errorf("rekey: member %d already queued", m)
+	}
+	s.queued[m] = true
+	s.leaves = append(s.leaves, m)
+	return nil
+}
+
+// Pending reports the queued joins and leaves.
+func (s *Server) Pending() (joins, leaves int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.joins), len(s.leaves)
+}
+
+// N returns the current group size.
+func (s *Server) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.N()
+}
+
+// GroupKey returns the current group key.
+func (s *Server) GroupKey() keys.Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.GroupKey()
+}
+
+// Credentials returns a current member's registration material.
+func (s *Server) Credentials(m MemberID) (Credentials, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.tree.UserID(m)
+	if !ok {
+		return Credentials{}, false
+	}
+	key, _ := s.tree.IndividualKey(m)
+	return Credentials{
+		Member: m, NodeID: id, Key: key,
+		Degree: s.cfg.Degree, BlockSize: s.cfg.BlockSize,
+	}, true
+}
+
+// ErrNoChange is returned by Rekey when no membership changes are
+// pending: no rekey message is needed.
+var ErrNoChange = errors.New("rekey: no pending membership changes")
+
+// Rekey processes the queued batch (the end of a rekey interval): it
+// updates the key tree via the marking algorithm, runs key assignment,
+// and returns the rekey message to transport.
+func (s *Server) Rekey() (*RekeyMessage, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.joins) == 0 && len(s.leaves) == 0 {
+		return nil, ErrNoChange
+	}
+	res, err := s.tree.ProcessBatch(s.joins, s.leaves)
+	if err != nil {
+		return nil, err
+	}
+	s.joins, s.leaves = nil, nil
+	s.queued = make(map[MemberID]bool)
+
+	plan, err := assign.Build(res)
+	if err != nil {
+		return nil, err
+	}
+	msgID := s.msgSeq & packet.MaxMsgID
+	s.msgSeq++
+	encs, err := assign.Materialize(plan, res, msgID, s.cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	part, err := blockplan.NewPartition(len(plan.Packets), s.cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	rm := &RekeyMessage{
+		MsgID:  msgID,
+		Result: res,
+		Plan:   plan,
+		ENC:    encs,
+		Part:   part,
+		degree: s.cfg.Degree,
+		k:      s.cfg.BlockSize,
+	}
+	s.lastMsg = rm
+	return rm, nil
+}
+
+// LastMessage returns the most recent rekey message, if any.
+func (s *Server) LastMessage() *RekeyMessage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastMsg
+}
+
+// RekeyMessage is one interval's rekey workload, ready for transport.
+type RekeyMessage struct {
+	MsgID  uint8
+	Result *keytree.BatchResult
+	Plan   *assign.Plan
+	// ENC holds the materialised packets in send order: block b's data
+	// slot s is ENC[b*k+s]; last-block padding duplicates included.
+	ENC  []*packet.ENC
+	Part blockplan.Partition
+
+	degree int
+	k      int
+
+	mu    sync.Mutex
+	coder *fec.Coder
+	data  [][][]byte // per block: k FEC payloads, built lazily
+}
+
+// Blocks returns the number of FEC blocks.
+func (rm *RekeyMessage) Blocks() int { return rm.Part.NumBlocks() }
+
+// Parity generates PARITY packet idx (0-based, stable across calls) for
+// the given block.
+func (rm *RekeyMessage) Parity(block, idx int) (*packet.PARITY, error) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if rm.coder == nil {
+		c, err := fec.NewCoder(rm.k, fec.MaxShards-rm.k)
+		if err != nil {
+			return nil, err
+		}
+		rm.coder = c
+		rm.data = make([][][]byte, rm.Blocks())
+	}
+	if block < 0 || block >= rm.Blocks() {
+		return nil, fmt.Errorf("rekey: block %d out of range", block)
+	}
+	if rm.data[block] == nil {
+		payloads := make([][]byte, rm.k)
+		for s := 0; s < rm.k; s++ {
+			raw, err := rm.ENC[block*rm.k+s].Marshal()
+			if err != nil {
+				return nil, err
+			}
+			payloads[s] = raw[packet.FECOffset:]
+		}
+		rm.data[block] = payloads
+	}
+	p, err := rm.coder.Parity(rm.data[block], idx)
+	if err != nil {
+		return nil, err
+	}
+	if block > 0xff || rm.k+idx > 0xff {
+		return nil, fmt.Errorf("rekey: parity shard (%d,%d) exceeds wire fields", block, rm.k+idx)
+	}
+	return &packet.PARITY{
+		MsgID:   rm.MsgID,
+		BlockID: uint8(block),
+		Seq:     uint8(rm.k + idx),
+		Payload: p,
+	}, nil
+}
+
+// PacketFor returns the ENC packet serving the given user node ID.
+func (rm *RekeyMessage) PacketFor(nodeID int) (*packet.ENC, bool) {
+	pi, ok := rm.Plan.UserPacket[nodeID]
+	if !ok {
+		return nil, false
+	}
+	return rm.ENC[pi], true
+}
+
+// USRFor builds the unicast USR packet for the given user node ID: just
+// that user's encryptions plus its (possibly new) ID.
+func (rm *RekeyMessage) USRFor(nodeID int) (*packet.USR, error) {
+	if nodeID > 0xffff || rm.Result.MaxKID > 0xffff {
+		return nil, fmt.Errorf("rekey: node ID %d exceeds wire field", nodeID)
+	}
+	return &packet.USR{
+		MsgID:  rm.MsgID,
+		NewID:  uint16(nodeID),
+		MaxKID: uint16(rm.Result.MaxKID),
+		Encs:   rm.Result.UserNeeds(nodeID),
+	}, nil
+}
+
+// NumRealPackets returns h, the number of real (non-duplicate) ENC
+// packets in the message.
+func (rm *RekeyMessage) NumRealPackets() int { return rm.Part.NumReal }
