@@ -1,0 +1,160 @@
+// Command fecbench measures the FEC hot path -- GF(2^8) kernels,
+// one-block encode, and the multi-block worker pool -- and writes the
+// results as JSON. Committed as BENCH_fec.json at the repo root, the
+// file is the baseline later PRs compare against:
+//
+//	go run ./cmd/fecbench -out BENCH_fec.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/fec"
+	"repro/internal/gf256"
+	"repro/internal/protocol"
+)
+
+// Result is one benchmark row.
+type Result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	MBPerS  float64 `json:"mb_per_s"`
+}
+
+// Baseline is the file schema.
+type Baseline struct {
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	Kernel     string   `json:"gf256_kernel"`
+	GoVersion  string   `json:"go_version"`
+	Results    []Result `json:"results"`
+	SpeedupRef float64  `json:"mul_add_speedup_vs_ref_1027B"`
+}
+
+func run(name string, bytes int, f func(b *testing.B)) Result {
+	r := testing.Benchmark(f)
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return Result{
+		Name:    name,
+		NsPerOp: ns,
+		MBPerS:  float64(bytes) / ns * 1e3, // bytes/ns -> MB/s (1e6 bytes)
+	}
+}
+
+func randData(rng *rand.Rand, k, plen int) [][]byte {
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, plen)
+		for j := range data[i] {
+			data[i][j] = byte(rng.Uint32())
+		}
+	}
+	return data
+}
+
+func main() {
+	out := flag.String("out", "BENCH_fec.json", "output file ('-' for stdout)")
+	flag.Parse()
+
+	bl := Baseline{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Kernel:    gf256.KernelName(),
+		GoVersion: runtime.Version(),
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+
+	var kernel1027, ref1027 float64
+	for _, n := range []int{64, 1027, 8192} {
+		src, dst := make([]byte, n), make([]byte, n)
+		for i := range src {
+			src[i] = byte(rng.Uint32())
+		}
+		res := run(fmt.Sprintf("MulAddSlice/kernel/%dB", n), n, func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				gf256.MulAddSlice(dst, src, 0x57)
+			}
+		})
+		bl.Results = append(bl.Results, res)
+		if n == 1027 {
+			kernel1027 = res.NsPerOp
+		}
+		res = run(fmt.Sprintf("MulAddSlice/ref/%dB", n), n, func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				gf256.RefMulAddSlice(dst, src, 0x57)
+			}
+		})
+		bl.Results = append(bl.Results, res)
+		if n == 1027 {
+			ref1027 = res.NsPerOp
+		}
+	}
+	if kernel1027 > 0 {
+		bl.SpeedupRef = ref1027 / kernel1027
+	}
+
+	for _, k := range []int{1, 5, 10, 20, 50} {
+		for _, plen := range []int{64, 1027, 8192} {
+			coder, err := fec.NewCoder(k, k)
+			if err != nil {
+				panic(err)
+			}
+			data := randData(rng, k, plen)
+			bl.Results = append(bl.Results, run(
+				fmt.Sprintf("FECEncode/k%d/%dB", k, plen), k*plen,
+				func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := coder.EncodeAll(data, 0, k); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}))
+		}
+	}
+
+	const blocks, k, plen = 32, 10, 1027
+	coder, err := fec.NewCoder(k, fec.MaxShards-k)
+	if err != nil {
+		panic(err)
+	}
+	reqs := make([]protocol.BlockParity, blocks)
+	for b := range reqs {
+		reqs[b] = protocol.BlockParity{Data: randData(rng, k, plen), First: 0, N: k / 2}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		bl.Results = append(bl.Results, run(
+			fmt.Sprintf("FECEncodeParallel/blocks%d/workers%d", blocks, workers), blocks*k*plen,
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := protocol.EncodeBlocks(coder, reqs, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+	}
+
+	enc, err := json.MarshalIndent(&bl, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (kernel=%s, MulAddSlice 1027B speedup vs ref: %.1fx)\n", *out, bl.Kernel, bl.SpeedupRef)
+}

@@ -63,14 +63,17 @@ func MeasureCosts() (analysis.Costs, error) {
 			data[i][j] = byte(i + j)
 		}
 	}
-	const fecReps = 500
+	// Measure through the one-pass encoder the server actually uses
+	// (EncodeAll over a k-parity window), then normalise to the
+	// analysis model's unit: one parity packet per unit of block size.
+	const fecReps = 200
 	start = time.Now()
 	for i := 0; i < fecReps; i++ {
-		if _, err := coder.Parity(data, i%k); err != nil {
+		if _, err := coder.EncodeAll(data, 0, k); err != nil {
 			return c, err
 		}
 	}
-	perParity := time.Since(start).Seconds() / fecReps
+	perParity := time.Since(start).Seconds() / (fecReps * k)
 	c.ParityPerBlockByte = perParity / k
 	return c, nil
 }

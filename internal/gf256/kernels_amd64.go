@@ -1,0 +1,51 @@
+//go:build amd64 && !purego
+
+package gf256
+
+// hasSSSE3 gates the PSHUFB kernels. SSSE3 (2006) is present on every
+// amd64 CPU Go still supports in practice, but it is not part of the
+// GOAMD64=v1 baseline, so it is probed once at startup.
+var hasSSSE3 = cpuHasSSSE3()
+
+// cpuHasSSSE3 reports whether the CPU supports SSSE3 (CPUID.1:ECX[9]).
+func cpuHasSSSE3() bool
+
+// mulVecSSSE3 sets dst[i] = c*src[i] for i in [0,n) where lo and hi are
+// the nibble product tables of c. n must be a positive multiple of 16.
+//
+//go:noescape
+func mulVecSSSE3(lo, hi *[16]byte, dst, src *byte, n int)
+
+// mulAddVecSSSE3 sets dst[i] ^= c*src[i] for i in [0,n) where lo and hi
+// are the nibble product tables of c. n must be a positive multiple of
+// 16.
+//
+//go:noescape
+func mulAddVecSSSE3(lo, hi *[16]byte, dst, src *byte, n int)
+
+func kernelName() string {
+	if hasSSSE3 {
+		return "ssse3"
+	}
+	return "generic"
+}
+
+func mulKernel(dst, src []byte, c byte) {
+	if hasSSSE3 {
+		if n := len(src) &^ 15; n > 0 {
+			mulVecSSSE3(&mulTblLo[c], &mulTblHi[c], &dst[0], &src[0], n)
+			dst, src = dst[n:], src[n:]
+		}
+	}
+	mulGeneric(dst, src, c)
+}
+
+func mulAddKernel(dst, src []byte, c byte) {
+	if hasSSSE3 {
+		if n := len(src) &^ 15; n > 0 {
+			mulAddVecSSSE3(&mulTblLo[c], &mulTblHi[c], &dst[0], &src[0], n)
+			dst, src = dst[n:], src[n:]
+		}
+	}
+	mulAddGeneric(dst, src, c)
+}

@@ -1,0 +1,8 @@
+//go:build !amd64 || purego
+
+package gf256
+
+func kernelName() string { return "generic" }
+
+func mulKernel(dst, src []byte, c byte)    { mulGeneric(dst, src, c) }
+func mulAddKernel(dst, src []byte, c byte) { mulAddGeneric(dst, src, c) }

@@ -90,6 +90,9 @@ type Options struct {
 	MaxUnicastWaves int
 	// SendInterval paces multicast sends; zero sends back to back.
 	SendInterval time.Duration
+	// Workers bounds the goroutines used to precompute each round's
+	// PARITY packets across blocks; 0 means GOMAXPROCS.
+	Workers int
 }
 
 // DefaultOptions returns values suitable for LAN/loopback operation.
@@ -156,6 +159,12 @@ func (s *Server) Distribute(rm *rekey.RekeyMessage, opts Options) (*Stats, error
 				}
 			}
 			refs = blockplan.Interleave(perBlock)
+		}
+		// After either branch, nextParity[b] is the total parity prefix
+		// this round's refs reach into; generate it across all blocks in
+		// parallel so multicastRefs hits the cache.
+		if err := rm.PrecomputeParity(nextParity, opts.Workers); err != nil {
+			return st, err
 		}
 		if err := s.multicastRefs(rm, refs, opts.SendInterval, st); err != nil {
 			return st, err

@@ -30,6 +30,7 @@ import (
 	"repro/internal/keys"
 	"repro/internal/keytree"
 	"repro/internal/packet"
+	"repro/internal/protocol"
 )
 
 // MemberID identifies a group member across its lifetime.
@@ -233,30 +234,33 @@ type RekeyMessage struct {
 	degree int
 	k      int
 
-	mu    sync.Mutex
-	coder *fec.Coder
-	data  [][][]byte // per block: k FEC payloads, built lazily
+	mu     sync.Mutex
+	coder  *fec.Coder
+	data   [][][]byte // per block: k FEC payloads, built lazily
+	parity [][][]byte // per block: parity payloads 0..len-1 generated so far
 }
 
 // Blocks returns the number of FEC blocks.
 func (rm *RekeyMessage) Blocks() int { return rm.Part.NumBlocks() }
 
-// Parity generates PARITY packet idx (0-based, stable across calls) for
-// the given block.
-func (rm *RekeyMessage) Parity(block, idx int) (*packet.PARITY, error) {
-	rm.mu.Lock()
-	defer rm.mu.Unlock()
-	if rm.coder == nil {
-		c, err := fec.NewCoder(rm.k, fec.MaxShards-rm.k)
-		if err != nil {
-			return nil, err
-		}
-		rm.coder = c
-		rm.data = make([][][]byte, rm.Blocks())
+// ensureCoder initialises the lazy FEC state. Callers hold rm.mu.
+func (rm *RekeyMessage) ensureCoder() error {
+	if rm.coder != nil {
+		return nil
 	}
-	if block < 0 || block >= rm.Blocks() {
-		return nil, fmt.Errorf("rekey: block %d out of range", block)
+	c, err := fec.NewCoder(rm.k, fec.MaxShards-rm.k)
+	if err != nil {
+		return err
 	}
+	rm.coder = c
+	rm.data = make([][][]byte, rm.Blocks())
+	rm.parity = make([][][]byte, rm.Blocks())
+	return nil
+}
+
+// blockData materialises (once) the FEC payloads of one block.
+// Callers hold rm.mu.
+func (rm *RekeyMessage) blockData(block int) ([][]byte, error) {
 	if rm.data[block] == nil {
 		payloads := make([][]byte, rm.k)
 		for s := 0; s < rm.k; s++ {
@@ -268,10 +272,11 @@ func (rm *RekeyMessage) Parity(block, idx int) (*packet.PARITY, error) {
 		}
 		rm.data[block] = payloads
 	}
-	p, err := rm.coder.Parity(rm.data[block], idx)
-	if err != nil {
-		return nil, err
-	}
+	return rm.data[block], nil
+}
+
+// parityPacket wraps a cached payload in its wire header.
+func (rm *RekeyMessage) parityPacket(block, idx int, payload []byte) (*packet.PARITY, error) {
 	if block > 0xff || rm.k+idx > 0xff {
 		return nil, fmt.Errorf("rekey: parity shard (%d,%d) exceeds wire fields", block, rm.k+idx)
 	}
@@ -279,8 +284,102 @@ func (rm *RekeyMessage) Parity(block, idx int) (*packet.PARITY, error) {
 		MsgID:   rm.MsgID,
 		BlockID: uint8(block),
 		Seq:     uint8(rm.k + idx),
-		Payload: p,
+		Payload: payload,
 	}, nil
+}
+
+// Parity generates PARITY packet idx (0-based, stable across calls) for
+// the given block. Generated payloads are cached: parity indices are
+// stable, so a prefix of each block's parity sequence is kept and
+// extended on demand (or in bulk by PrecomputeParity).
+func (rm *RekeyMessage) Parity(block, idx int) (*packet.PARITY, error) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if err := rm.ensureCoder(); err != nil {
+		return nil, err
+	}
+	if block < 0 || block >= rm.Blocks() {
+		return nil, fmt.Errorf("rekey: block %d out of range", block)
+	}
+	if idx < 0 || idx >= rm.coder.MaxParity() {
+		return nil, fmt.Errorf("fec: parity index %d out of range [0,%d)", idx, rm.coder.MaxParity())
+	}
+	if idx >= len(rm.parity[block]) {
+		data, err := rm.blockData(block)
+		if err != nil {
+			return nil, err
+		}
+		have := len(rm.parity[block])
+		fresh, err := rm.coder.EncodeAll(data, have, idx+1-have)
+		if err != nil {
+			return nil, err
+		}
+		rm.parity[block] = append(rm.parity[block], fresh...)
+	}
+	return rm.parityPacket(block, idx, rm.parity[block][idx])
+}
+
+// PrecomputeParity generates (and caches) parity payloads for many
+// blocks at once: after it returns, block b has at least counts[b]
+// parity packets cached, so subsequent Parity calls in that range are
+// lookups. The per-block encodes fan out across a bounded worker pool
+// (workers <= 0 means GOMAXPROCS); the cached bytes are identical to
+// what serial Parity calls would produce. counts may be shorter than
+// the block count; missing entries mean zero.
+func (rm *RekeyMessage) PrecomputeParity(counts []int, workers int) error {
+	rm.mu.Lock()
+	if err := rm.ensureCoder(); err != nil {
+		rm.mu.Unlock()
+		return err
+	}
+	if len(counts) > rm.Blocks() {
+		rm.mu.Unlock()
+		return fmt.Errorf("rekey: parity counts for %d blocks, message has %d", len(counts), rm.Blocks())
+	}
+	var reqs []protocol.BlockParity
+	var blockOf []int
+	for b, want := range counts {
+		have := len(rm.parity[b])
+		if want <= have {
+			continue
+		}
+		if want > rm.coder.MaxParity() {
+			rm.mu.Unlock()
+			return fmt.Errorf("rekey: block %d wants %d parity packets, max %d", b, want, rm.coder.MaxParity())
+		}
+		data, err := rm.blockData(b)
+		if err != nil {
+			rm.mu.Unlock()
+			return err
+		}
+		reqs = append(reqs, protocol.BlockParity{Data: data, First: have, N: want - have})
+		blockOf = append(blockOf, b)
+	}
+	rm.mu.Unlock()
+	if len(reqs) == 0 {
+		return nil
+	}
+
+	// Encode outside the lock: the coder and the materialised block data
+	// are read-only from here on.
+	outs, err := protocol.EncodeBlocks(rm.coder, reqs, workers)
+	if err != nil {
+		return err
+	}
+
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	for i, b := range blockOf {
+		// A concurrent caller may have extended this block's prefix in
+		// the meantime; parity bytes are deterministic, so splice in only
+		// the packets that are still missing.
+		for j, p := range outs[i] {
+			if reqs[i].First+j == len(rm.parity[b]) {
+				rm.parity[b] = append(rm.parity[b], p)
+			}
+		}
+	}
+	return nil
 }
 
 // PacketFor returns the ENC packet serving the given user node ID.

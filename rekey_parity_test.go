@@ -1,0 +1,156 @@
+package rekey_test
+
+// Tests for the rekey message's parity cache and its parallel
+// precompute path: whatever mixture of Parity, PrecomputeParity and
+// concurrency produces a PARITY packet, the bytes must equal the ones
+// a fresh message generates serially.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	rekey "repro"
+)
+
+// twoMessages builds two identical rekey messages from two servers fed
+// the same deterministic workload.
+func twoMessages(t *testing.T, n int) (*rekey.RekeyMessage, *rekey.RekeyMessage) {
+	t.Helper()
+	var rms [2]*rekey.RekeyMessage
+	for i := range rms {
+		srv, err := rekey.NewServer(rekey.Config{KeySeed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := 0; m < n; m++ {
+			if err := srv.QueueJoin(rekey.MemberID(m)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rm, err := srv.Rekey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rms[i] = rm
+	}
+	return rms[0], rms[1]
+}
+
+func TestPrecomputeParityMatchesSerial(t *testing.T) {
+	pre, serial := twoMessages(t, 700) // several FEC blocks at k=10
+	blocks := pre.Blocks()
+	if blocks < 2 {
+		t.Fatalf("want a multi-block message, got %d block(s)", blocks)
+	}
+	counts := make([]int, blocks)
+	for b := range counts {
+		counts[b] = 3 + b%5
+	}
+	if err := pre.PrecomputeParity(counts, 4); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < blocks; b++ {
+		for i := 0; i < counts[b]; i++ {
+			got, err := pre.Parity(b, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := serial.Parity(b, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Payload, want.Payload) || got.Seq != want.Seq || got.BlockID != want.BlockID {
+				t.Fatalf("precomputed parity (%d,%d) differs from serial", b, i)
+			}
+		}
+	}
+	// Extending past the precomputed prefix must still match.
+	for b := 0; b < blocks; b++ {
+		got, err := pre.Parity(b, counts[b]+2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := serial.Parity(b, counts[b]+2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("post-prefix parity (%d,%d) differs from serial", b, counts[b]+2)
+		}
+	}
+}
+
+// TestParityConcurrentCallers hammers one message's parity cache from
+// many goroutines mixing Parity and PrecomputeParity; run under -race
+// this checks the cache's locking, and every result is checked against
+// a serially generated twin.
+func TestParityConcurrentCallers(t *testing.T) {
+	rm, serial := twoMessages(t, 500)
+	blocks := rm.Blocks()
+	const perBlock = 6
+	want := make([][][]byte, blocks)
+	for b := 0; b < blocks; b++ {
+		want[b] = make([][]byte, perBlock)
+		for i := 0; i < perBlock; i++ {
+			p, err := serial.Parity(b, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[b][i] = p.Payload
+		}
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				counts := make([]int, blocks)
+				for b := range counts {
+					counts[b] = 1 + (b+g)%perBlock
+				}
+				if err := rm.PrecomputeParity(counts, 2); err != nil {
+					errc <- err
+					return
+				}
+			}
+			for b := 0; b < blocks; b++ {
+				for i := 0; i < perBlock; i++ {
+					p, err := rm.Parity(b, i)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if !bytes.Equal(p.Payload, want[b][i]) {
+						t.Errorf("goroutine %d: parity (%d,%d) differs from serial", g, b, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+func TestPrecomputeParityErrors(t *testing.T) {
+	rm, _ := twoMessages(t, 64)
+	tooMany := make([]int, rm.Blocks()+1)
+	if err := rm.PrecomputeParity(tooMany, 2); err == nil {
+		t.Error("counts longer than block count accepted")
+	}
+	huge := make([]int, rm.Blocks())
+	huge[0] = 1 << 10
+	if err := rm.PrecomputeParity(huge, 2); err == nil {
+		t.Error("count beyond MaxParity accepted")
+	}
+	// nil / short counts are fine and do nothing.
+	if err := rm.PrecomputeParity(nil, 2); err != nil {
+		t.Errorf("nil counts: %v", err)
+	}
+}

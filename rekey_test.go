@@ -149,17 +149,27 @@ func TestMemberRecoversViaFEC(t *testing.T) {
 		t.Fatalf("workload too small: %d blocks", rm.Blocks())
 	}
 
-	// Pick a member; find its packet's block; withhold the specific
+	// Pick a member whose packet lies outside the last block (the last
+	// block's padding duplicates could deliver the specific packet as a
+	// "different" shard); find its packet's block; withhold the specific
 	// packet, deliver the rest of the block plus one parity packet.
+	// Iterate by member ID so the choice is deterministic.
 	var victim *Member
-	for _, m := range members {
-		victim = m
-		break
+	var blk, seq int
+	for id := MemberID(0); victim == nil && id < 1024; id++ {
+		m, ok := members[id]
+		if !ok {
+			continue
+		}
+		nodeID := m.ID() // unchanged: no splits in a pure-leave batch
+		pi := rm.Plan.UserPacket[nodeID]
+		if b, s := rm.Part.Slot(pi); b < rm.Blocks()-1 {
+			victim, blk, seq = m, b, s
+		}
 	}
-	// Determine the victim's packet index post-batch.
-	nodeID := victim.ID() // unchanged: no splits in a pure-leave batch
-	pi := rm.Plan.UserPacket[nodeID]
-	blk, seq := rm.Part.Slot(pi)
+	if victim == nil {
+		t.Fatal("no member with a packet outside the last block")
+	}
 
 	k := rm.Part.K
 	delivered := 0
