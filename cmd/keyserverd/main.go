@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	keyserverd [-ctl 127.0.0.1:7700] [-udp 127.0.0.1:0] [-interval 2s] [-rho 1.2] [-k 10]
+//	keyserverd [-ctl 127.0.0.1:7700] [-udp 127.0.0.1:0] [-http 127.0.0.1:0] [-interval 2s] [-rho 1.2] [-k 10]
 //
 // Protocol on the control port (one command per line):
 //
@@ -17,21 +17,34 @@
 //	LEAVE <member-id>                  -> "OK"
 //	REKEY                              -> force an immediate batch
 //	STATUS                             -> group size, pending counts
+//
+// The HTTP port serves the live observability registry: GET /metrics
+// returns counters/gauges/histograms (packets sent by type, NACKs per
+// round, rho, rekey build times, ...) as JSON, and GET /trace returns
+// the recent typed protocol events (RoundStart, NACKReceived,
+// SwitchToUnicast, ...). SIGINT/SIGTERM shut the daemon down cleanly,
+// aborting any in-flight distribution.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	rekey "repro"
+	"repro/internal/obs"
 	"repro/internal/udptrans"
 )
 
@@ -47,14 +60,24 @@ func main() {
 	var (
 		ctl      = flag.String("ctl", "127.0.0.1:7700", "control (TCP) listen address")
 		udp      = flag.String("udp", "127.0.0.1:0", "rekey transport (UDP) listen address")
+		httpAddr = flag.String("http", "127.0.0.1:0", "metrics/trace (HTTP) listen address ('' disables)")
 		interval = flag.Duration("interval", 2*time.Second, "rekey interval")
-		rho      = flag.Float64("rho", 1.2, "proactivity factor")
+		rho      = flag.Float64("rho", 1.2, "proactivity factor rho0")
 		k        = flag.Int("k", 10, "FEC block size")
+		workers  = flag.Int("workers", 0, "parity encode workers (0 = GOMAXPROCS)")
 		seed     = flag.Uint64("seed", 0, "deterministic key seed (0 = crypto/rand)")
 	)
 	flag.Parse()
 
-	ks, err := rekey.NewServer(rekey.Config{BlockSize: *k, KeySeed: *seed})
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	reg := obs.New()
+	tun := rekey.DefaultTuning()
+	tun.K = *k
+	tun.InitialRho = *rho
+	tun.Workers = *workers
+	ks, err := rekey.NewServer(rekey.Config{Tuning: tun, KeySeed: *seed, Obs: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,9 +85,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := udptrans.DefaultOptions()
-	opts.Rho = *rho
-	d := &daemon{ks: ks, tr: tr, opts: opts, pending: make(map[rekey.MemberID]*net.UDPAddr)}
+	defer tr.Close()
+	d := &daemon{ks: ks, tr: tr, opts: udptrans.DefaultOptions(), pending: make(map[rekey.MemberID]*net.UDPAddr)}
+
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hsrv := &http.Server{Handler: reg.ServeMux()}
+		go hsrv.Serve(hln) //nolint:errcheck
+		go func() {
+			<-ctx.Done()
+			hsrv.Close()
+		}()
+		log.Printf("keyserverd: metrics on http://%s/metrics (trace on /trace)", hln.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *ctl)
 	if err != nil {
@@ -75,23 +111,37 @@ func main() {
 	go func() {
 		tick := time.NewTicker(*interval)
 		defer tick.Stop()
-		for range tick.C {
-			if err := d.rekey(); err != nil && err != rekey.ErrNoChange {
-				log.Printf("rekey: %v", err)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				if err := d.rekey(ctx); err != nil &&
+					!errors.Is(err, rekey.ErrNoChange) && !errors.Is(err, context.Canceled) {
+					log.Printf("rekey: %v", err)
+				}
 			}
 		}
 	}()
 
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if ctx.Err() != nil {
+				log.Printf("keyserverd: shutting down")
+				return
+			}
 			log.Fatal(err)
 		}
-		go d.serveCtl(conn)
+		go d.serveCtl(ctx, conn)
 	}
 }
 
-func (d *daemon) rekey() error {
+func (d *daemon) rekey(ctx context.Context) error {
 	d.mu.Lock()
 	rm, err := d.ks.Rekey()
 	if err != nil {
@@ -104,7 +154,7 @@ func (d *daemon) rekey() error {
 		delete(d.pending, id)
 	}
 	d.mu.Unlock()
-	st, err := d.tr.Distribute(rm, d.opts)
+	st, err := d.tr.Distribute(ctx, rm, d.opts)
 	if err != nil {
 		return err
 	}
@@ -113,7 +163,7 @@ func (d *daemon) rekey() error {
 	return nil
 }
 
-func (d *daemon) serveCtl(conn net.Conn) {
+func (d *daemon) serveCtl(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	for sc.Scan() {
@@ -121,12 +171,12 @@ func (d *daemon) serveCtl(conn net.Conn) {
 		if len(fields) == 0 {
 			continue
 		}
-		reply := d.handle(fields)
+		reply := d.handle(ctx, fields)
 		fmt.Fprintln(conn, reply)
 	}
 }
 
-func (d *daemon) handle(fields []string) string {
+func (d *daemon) handle(ctx context.Context, fields []string) string {
 	switch strings.ToUpper(fields[0]) {
 	case "JOIN":
 		if len(fields) != 3 {
@@ -150,7 +200,7 @@ func (d *daemon) handle(fields []string) string {
 			return "ERR " + err.Error()
 		}
 		// Registration completes at the next batch; blocks until then.
-		for i := 0; i < 100; i++ {
+		for i := 0; i < 100 && ctx.Err() == nil; i++ {
 			if cred, ok := d.ks.Credentials(rekey.MemberID(id)); ok {
 				return fmt.Sprintf("OK %d %s %d %d", cred.NodeID, hex.EncodeToString(cred.Key[:]), cred.Degree, cred.BlockSize)
 			}
@@ -176,7 +226,7 @@ func (d *daemon) handle(fields []string) string {
 		}
 		return "OK"
 	case "REKEY":
-		if err := d.rekey(); err != nil && err != rekey.ErrNoChange {
+		if err := d.rekey(ctx); err != nil && !errors.Is(err, rekey.ErrNoChange) {
 			return "ERR " + err.Error()
 		}
 		return "OK"

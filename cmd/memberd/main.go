@@ -4,34 +4,43 @@
 //
 // Usage:
 //
-//	memberd -id 42 -server-udp 127.0.0.1:PORT [-ctl 127.0.0.1:7700] [-once]
+//	memberd -id 42 -server-udp 127.0.0.1:PORT [-ctl 127.0.0.1:7700] [-http 127.0.0.1:0] [-once]
 //
 // keyserverd logs its transport UDP address at startup; pass it as
-// -server-udp so the member's NACKs reach the right socket.
+// -server-udp so the member's NACKs reach the right socket. The HTTP
+// port serves the member-side observability registry (/metrics and
+// /trace): packets received by type, NACKs sent, FEC recoveries, and
+// MemberDone trace events. SIGINT/SIGTERM stop the receive loop.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	rekey "repro"
 	"repro/internal/keys"
+	"repro/internal/obs"
 	"repro/internal/udptrans"
 )
 
 func main() {
 	var (
-		id      = flag.Int64("id", 0, "member ID (required)")
-		ctl     = flag.String("ctl", "127.0.0.1:7700", "key server control (TCP) address")
-		srvUDPs = flag.String("server-udp", "", "key server transport (UDP) address (required)")
-		once    = flag.Bool("once", false, "exit after deriving the first group key")
+		id       = flag.Int64("id", 0, "member ID (required)")
+		ctl      = flag.String("ctl", "127.0.0.1:7700", "key server control (TCP) address")
+		srvUDPs  = flag.String("server-udp", "", "key server transport (UDP) address (required)")
+		httpAddr = flag.String("http", "", "metrics/trace (HTTP) listen address ('' disables)")
+		once     = flag.Bool("once", false, "exit after deriving the first group key")
 	)
 	flag.Parse()
 	if *id <= 0 {
@@ -44,6 +53,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	// Bind the member's UDP socket BEFORE registering: packets the
 	// server distributes while the JOIN reply is in flight queue in the
@@ -83,13 +95,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	reg := obs.New()
+	client.Obs = reg
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hsrv := &http.Server{Handler: reg.ServeMux()}
+		go hsrv.Serve(hln) //nolint:errcheck
+		go func() {
+			<-ctx.Done()
+			hsrv.Close()
+		}()
+		log.Printf("memberd %d: metrics on http://%s/metrics", *id, hln.Addr())
+	}
 	log.Printf("memberd %d: node %d, listening on %s", *id, nodeID, myAddr)
-	go client.Run()
+	go client.Run(ctx) //nolint:errcheck
 	defer client.Close()
 
 	var last keys.Key
 	var have bool
-	for {
+	for ctx.Err() == nil {
 		gk, ok := client.Member.GroupKey()
 		if ok && (!have || gk != last) {
 			last, have = gk, true
@@ -100,4 +127,5 @@ func main() {
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+	log.Printf("memberd %d: shutting down", *id)
 }

@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"crypto/aes"
 	"crypto/cipher"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -141,7 +142,10 @@ func deliver(msg *rekey.RekeyMessage, m *rekey.Member, nodeID int) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := m.Ingest(raw); err != nil {
+	// Fresh joiners are keyed at construction and see their packet a
+	// second time in the delivery sweep; that duplicate is ErrStale by
+	// design, not a failure.
+	if _, err := m.Ingest(raw); err != nil && !errors.Is(err, rekey.ErrStale) {
 		log.Fatal(err)
 	}
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -18,8 +19,12 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const n = 150
-	ks, err := rekey.NewServer(rekey.Config{})
+	// Rely on reactive recovery (rho = 1) so the NACK path shows up.
+	tun := rekey.DefaultTuning()
+	tun.InitialRho = 1.0
+	ks, err := rekey.NewServer(rekey.Config{Tuning: tun})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,13 +65,12 @@ func main() {
 		}
 		clients[id] = c
 		srv.SetMemberAddr(id, c.Addr())
-		go c.Run()
+		go c.Run(ctx) //nolint:errcheck
 		defer c.Close()
 	}
 
 	opts := udptrans.DefaultOptions()
-	opts.Rho = 1.0 // rely on reactive recovery so the NACK path shows up
-	st, err := srv.Distribute(msg, opts)
+	st, err := srv.Distribute(ctx, msg, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -105,10 +109,10 @@ func main() {
 	}
 	clients[1000] = c
 	srv.SetMemberAddr(1000, c.Addr())
-	go c.Run()
+	go c.Run(ctx) //nolint:errcheck
 	defer c.Close()
 
-	st, err = srv.Distribute(msg, opts)
+	st, err = srv.Distribute(ctx, msg, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

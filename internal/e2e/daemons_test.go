@@ -6,7 +6,10 @@ package e2e
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -61,12 +64,15 @@ func TestDaemonsEndToEnd(t *testing.T) {
 		srv.Wait()
 	}()
 
-	// Learn the transport UDP address from the startup log line.
+	// Learn the transport UDP and metrics HTTP addresses from the
+	// startup log lines.
 	udpRe := regexp.MustCompile(`transport on (\S+),`)
-	var udpAddr string
+	httpRe := regexp.MustCompile(`metrics on (http://\S+)/metrics`)
+	var udpAddr, httpBase string
 	sc := bufio.NewScanner(stderr)
 	deadline := time.After(10 * time.Second)
 	addrCh := make(chan string, 1)
+	httpCh := make(chan string, 1)
 	go func() {
 		for sc.Scan() {
 			if m := udpRe.FindStringSubmatch(sc.Text()); m != nil {
@@ -75,8 +81,19 @@ func TestDaemonsEndToEnd(t *testing.T) {
 				default:
 				}
 			}
+			if m := httpRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case httpCh <- m[1]:
+				default:
+				}
+			}
 		}
 	}()
+	select {
+	case httpBase = <-httpCh:
+	case <-deadline:
+		t.Fatal("keyserverd did not log its metrics address")
+	}
 	select {
 	case udpAddr = <-addrCh:
 	case <-deadline:
@@ -111,5 +128,65 @@ func TestDaemonsEndToEnd(t *testing.T) {
 		if !strings.Contains(outs[i], "group key key(") {
 			t.Fatalf("member %d never printed a group key:\n%s", i+1, outs[i])
 		}
+	}
+
+	// The daemon's observability endpoints must reflect the rekeys that
+	// just keyed those members.
+	var snap struct {
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	getJSON(t, httpBase+"/metrics", &snap)
+	if snap.Counters["rekeys"] < 1 {
+		t.Errorf("rekeys counter = %d, want >= 1", snap.Counters["rekeys"])
+	}
+	if snap.Counters["enc_sent"] < 1 {
+		t.Errorf("enc_sent counter = %d, want >= 1", snap.Counters["enc_sent"])
+	}
+	if snap.Counters["joins"] < members {
+		t.Errorf("joins counter = %d, want >= %d", snap.Counters["joins"], members)
+	}
+	if snap.Gauges["group_size"] < 1 {
+		t.Errorf("group_size gauge = %v, want >= 1", snap.Gauges["group_size"])
+	}
+	if snap.Gauges["rho"] != 1.2 {
+		t.Errorf("rho gauge = %v, want the daemon default 1.2", snap.Gauges["rho"])
+	}
+
+	var trace struct {
+		Events []struct {
+			Kind string `json:"kind"`
+		} `json:"events"`
+	}
+	getJSON(t, httpBase+"/trace", &trace)
+	kinds := map[string]int{}
+	for _, ev := range trace.Events {
+		kinds[ev.Kind]++
+	}
+	if kinds["RekeyBuilt"] < 1 {
+		t.Errorf("trace has no RekeyBuilt events: %v", kinds)
+	}
+	if kinds["RoundStart"] < 1 {
+		t.Errorf("trace has no RoundStart events: %v", kinds)
+	}
+}
+
+// getJSON fetches url and decodes the response body into v.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("GET %s: json: %v\n%s", url, err, body)
 	}
 }

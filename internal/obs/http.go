@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// MarshalJSON renders the +Inf upper bound of the overflow bucket as
+// null (encoding/json rejects infinities).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Le    *float64 `json:"le"`
+		Count int64    `json:"count"`
+	}
+	a := alias{Count: b.Count}
+	if !isInf(b.Le) {
+		le := b.Le
+		a.Le = &le
+	}
+	return json.Marshal(a)
+}
+
+func isInf(f float64) bool { return f > 1e308 || f < -1e308 }
+
+// MetricsHandler serves the registry snapshot as expvar-style JSON.
+// Usable (serving an empty snapshot) even on a nil registry.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, r.Snapshot())
+	})
+}
+
+// TraceHandler serves the retained event trace, oldest first, as JSON:
+// {"dropped": N, "events": [...]}.
+func (r *Registry) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, struct {
+			Dropped uint64  `json:"dropped"`
+			Events  []Event `json:"events"`
+		}{r.EventsDropped(), r.Events()})
+	})
+}
+
+// ServeMux returns a mux with the registry mounted at /metrics and
+// /trace -- what the daemons (and tests) expose over HTTP.
+func (r *Registry) ServeMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/trace", r.TraceHandler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		return
+	}
+	w.Write(append(enc, '\n')) //nolint:errcheck
+}

@@ -33,30 +33,29 @@ import (
 	"repro/internal/blockplan"
 	"repro/internal/keytree"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
+	"repro/internal/tuning"
 )
 
-// Config holds the transport protocol parameters. DefaultConfig returns
-// the paper's defaults.
+// Config holds the transport protocol parameters. The shared knobs
+// (k, degree, rho0, NACK targets, round budget, workers) come from the
+// embedded tuning core -- the same struct rekey.Config embeds -- so
+// they are defined and validated in exactly one place; the fields
+// declared here are simulation-specific. DefaultConfig returns the
+// paper's defaults.
 type Config struct {
-	// K is the FEC block size.
-	K int
-	// InitialRho is the proactivity factor for the first rekey message.
-	InitialRho float64
+	// Tuning is the shared knob core; see package tuning. Note that
+	// here MaxMulticastRounds = 0 disables unicast entirely (multicast
+	// until every user recovers), and the session reads Degree only
+	// through each Message's TreeDegree.
+	tuning.Tuning
 	// AdaptiveRho enables the AdjustRho algorithm; when false, rho stays
 	// at InitialRho for every message.
 	AdaptiveRho bool
-	// NumNACK is the initial target number of first-round NACKs.
-	NumNACK int
-	// MaxNACK caps NumNACK adaptation.
-	MaxNACK int
 	// AdaptNumNACK enables deadline-driven adaptation of NumNACK
 	// (requires DeadlineRounds > 0).
 	AdaptNumNACK bool
-	// MaxMulticastRounds is the round count after which the server
-	// switches to unicast (the paper suggests 1 or 2). Zero disables
-	// unicast: the server multicasts until every user recovers.
-	MaxMulticastRounds int
 	// EarlyUnicast also switches to unicast as soon as the total size of
 	// the pending USR packets is no more than the PARITY packets the
 	// next multicast round would send.
@@ -73,45 +72,46 @@ type Config struct {
 	// UnicastInterval is the duration of one unicast retransmission
 	// wave, typically one RTT -- much shorter than a multicast round.
 	UnicastInterval float64
-	// Workers bounds the goroutines used for per-user processing;
-	// 0 means GOMAXPROCS.
-	Workers int
 	// SequentialSend disables the interleaved send order, transmitting
 	// each block's shards back to back. The protocol interleaves by
 	// default so a burst-loss period cannot claim several shards of one
 	// block; this switch exists for the ablation experiment.
 	SequentialSend bool
+	// Obs, when non-nil, receives per-round metrics and trace events
+	// (NACKs per round, RhoAdjusted, SwitchToUnicast). A nil registry
+	// costs the simulation hot path only a pointer check.
+	Obs *obs.Registry
 }
 
-// DefaultConfig returns the paper's default parameters: k=10, adaptive
-// rho starting at 1, numNACK target 20 (cap 100), switch to unicast
-// after 2 multicast rounds, deadline 2 rounds, 10 packets/second.
+// DefaultConfig returns the paper's default parameters: the shared
+// tuning defaults (k=10, rho0=1, numNACK target 20 capped at 100,
+// unicast after 2 multicast rounds) plus adaptive rho, deadline 2
+// rounds, 10 packets/second.
 func DefaultConfig() Config {
 	return Config{
-		K:                  10,
-		InitialRho:         1.0,
-		AdaptiveRho:        true,
-		NumNACK:            20,
-		MaxNACK:            100,
-		AdaptNumNACK:       false,
-		MaxMulticastRounds: 2,
-		EarlyUnicast:       false,
-		DeadlineRounds:     2,
-		SendInterval:       0.100,
-		RoundSlack:         0.500,
-		UnicastInterval:    0.200,
+		Tuning:          tuning.Default(),
+		AdaptiveRho:     true,
+		AdaptNumNACK:    false,
+		EarlyUnicast:    false,
+		DeadlineRounds:  2,
+		SendInterval:    0.100,
+		RoundSlack:      0.500,
+		UnicastInterval: 0.200,
 	}
 }
 
 func (c Config) validate() error {
-	if c.K <= 0 {
-		return fmt.Errorf("protocol: block size %d", c.K)
+	t := c.Tuning
+	if t.Degree == 0 {
+		// The session never reads Degree (each Message carries its
+		// TreeDegree), so don't force callers to set it.
+		t.Degree = tuning.Default().Degree
+	}
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("protocol: %w", err)
 	}
 	if c.SendInterval <= 0 {
-		return fmt.Errorf("protocol: send interval %v", c.SendInterval)
-	}
-	if c.NumNACK < 0 || c.MaxNACK < 0 {
-		return fmt.Errorf("protocol: negative NACK target")
+		return fmt.Errorf("protocol: SendInterval = %v, want > 0", c.SendInterval)
 	}
 	if c.AdaptNumNACK && c.DeadlineRounds <= 0 {
 		return fmt.Errorf("protocol: AdaptNumNACK requires DeadlineRounds > 0")
@@ -248,6 +248,7 @@ func NewSession(cfg Config, net *netsim.Star, seed uint64) (*Session, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	cfg.Obs.Set(obs.GRho, cfg.InitialRho)
 	return &Session{
 		cfg:     cfg,
 		net:     net,
@@ -372,6 +373,8 @@ func (s *Session) Run(msg *Message) (*Metrics, error) {
 				met.DupSent++
 			}
 		}
+		cfg.Obs.Emit(obs.Event{Kind: obs.EvRoundStart, MsgID: uint8(met.MsgID & 0x3f),
+			Round: round, Value: float64(len(refs))})
 		times := make([]float64, len(refs))
 		for i := range times {
 			times[i] = s.now + float64(i)*cfg.SendInterval
@@ -381,6 +384,7 @@ func (s *Session) Run(msg *Message) (*Metrics, error) {
 
 		fb := s.processRound(msg, users, refs, rd, round, blocks, met)
 		met.NACKsPerRound = append(met.NACKsPerRound, fb.nacks)
+		cfg.Obs.Observe(obs.HNACKsPerRound, float64(fb.nacks))
 		if round == 1 {
 			met.Round1NACKs = fb.nacks
 			if cfg.AdaptiveRho {
@@ -428,6 +432,16 @@ func (s *Session) Run(msg *Message) (*Metrics, error) {
 	}
 
 	if !met.AllDone {
+		if cfg.Obs.Enabled() {
+			pending := 0
+			for i := range users {
+				if !users[i].done() {
+					pending++
+				}
+			}
+			cfg.Obs.Emit(obs.Event{Kind: obs.EvSwitchToUnicast,
+				MsgID: uint8(met.MsgID & 0x3f), Round: met.MulticastRounds, Value: float64(pending)})
+		}
 		s.unicast(msg, users, met)
 	}
 	met.Elapsed = s.now - start
@@ -558,6 +572,7 @@ func (s *Session) processRound(msg *Message, users []userState, refs []blockplan
 func (s *Session) adjustRho(a []int) {
 	k := s.cfg.K
 	target := s.numNACK
+	before := s.rho
 	switch {
 	case len(a) > target:
 		sort.Sort(sort.Reverse(sort.IntSlice(a)))
@@ -569,6 +584,10 @@ func (s *Session) adjustRho(a []int) {
 			s.rho = math.Max(0, math.Ceil(float64(k)*s.rho-1-1e-9)) / float64(k)
 		}
 	}
+	if s.rho != before {
+		s.cfg.Obs.Emit(obs.Event{Kind: obs.EvRhoAdjusted, MsgID: uint8(s.msgSeq & 0x3f), Value: s.rho})
+	}
+	s.cfg.Obs.Set(obs.GRho, s.rho)
 }
 
 // usrBytes is the total size of the USR packets (plus UDP headers) that

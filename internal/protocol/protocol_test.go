@@ -283,7 +283,9 @@ func TestRunValidation(t *testing.T) {
 	if _, err := s.Run(msg); err == nil {
 		t.Fatal("population mismatch accepted")
 	}
-	if _, err := NewSession(Config{K: 0}, nil, 1); err == nil {
+	badK := DefaultConfig()
+	badK.K = 0
+	if _, err := NewSession(badK, nil, 1); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 	bad := DefaultConfig()

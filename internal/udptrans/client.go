@@ -1,12 +1,16 @@
 package udptrans
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
 	rekey "repro"
+	"repro/internal/obs"
+	"repro/internal/packet"
 )
 
 // Client is a group member's transport endpoint: it receives multicast
@@ -27,6 +31,10 @@ type Client struct {
 	// QuietGap is how long the packet stream must pause before the
 	// client concludes a round ended and emits a NACK.
 	QuietGap time.Duration
+
+	// Obs, when non-nil, receives the client's packet counters and
+	// MemberDone trace events. Set before Run.
+	Obs *obs.Registry
 
 	mu     sync.Mutex
 	closed bool
@@ -89,35 +97,79 @@ func (c *Client) Close() error {
 	return err
 }
 
-// Run receives packets until Close. It is typically run in its own
-// goroutine. Transient ingest errors (e.g. packets for other members)
-// are counted, not fatal.
-func (c *Client) Run() {
+// Run receives packets until ctx is cancelled or Close is called. It
+// is typically run in its own goroutine. Transient ingest errors
+// (stale duplicates, packets for other members) are counted in the
+// registry, not fatal. Run returns nil after Close and ctx.Err() after
+// cancellation.
+func (c *Client) Run(ctx context.Context) error {
 	defer close(c.done)
+	stopWatch := context.AfterFunc(ctx, func() {
+		c.conn.SetReadDeadline(time.Now()) //nolint:errcheck
+	})
+	defer stopWatch()
 	buf := make([]byte, 2048)
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := c.conn.SetReadDeadline(time.Now().Add(c.QuietGap)); err != nil {
-			return
+			return nil
 		}
 		n, _, err := c.conn.ReadFromUDP(buf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
 				// Stream pause: the round is over from this member's
 				// perspective; NACK if still pending.
 				if nack, ok := c.Member.NACK(); ok {
 					if raw, err := nack.Marshal(); err == nil {
 						c.conn.WriteToUDP(raw, c.server) //nolint:errcheck
+						c.Obs.Inc(obs.CNACKSent)
 					}
 				}
 				continue
 			}
-			return // socket closed
+			return nil // socket closed
 		}
 		pkt := buf[:n]
 		if c.Drop != nil && c.Drop(pkt) {
 			continue
 		}
 		// Copy: Ingest retains payload slices.
-		c.Member.Ingest(append([]byte(nil), pkt...)) //nolint:errcheck
+		res, err := c.Member.Ingest(append([]byte(nil), pkt...))
+		if c.Obs.Enabled() {
+			c.record(res, err)
+		}
+	}
+}
+
+// record translates one ingest outcome into metrics and trace events.
+func (c *Client) record(res rekey.IngestResult, err error) {
+	switch res.Kind {
+	case packet.TypeENC:
+		c.Obs.Inc(obs.CEncRecv)
+	case packet.TypePARITY:
+		c.Obs.Inc(obs.CParityRecv)
+	case packet.TypeUSR:
+		c.Obs.Inc(obs.CUsrRecv)
+	}
+	switch {
+	case errors.Is(err, rekey.ErrStale):
+		c.Obs.Inc(obs.CIngestStale)
+	case err != nil:
+		c.Obs.Inc(obs.CIngestErrors)
+	case res.Done:
+		if res.Recovered {
+			c.Obs.Inc(obs.CFECRecoveries)
+		}
+		v := 0.0
+		if res.Recovered {
+			v = 1
+		}
+		c.Obs.Emit(obs.Event{Kind: obs.EvMemberDone, MsgID: res.MsgID,
+			User: c.Member.ID(), Value: v})
 	}
 }

@@ -8,6 +8,7 @@
 package udptrans
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -16,6 +17,7 @@ import (
 
 	rekey "repro"
 	"repro/internal/blockplan"
+	"repro/internal/obs"
 	"repro/internal/packet"
 )
 
@@ -23,6 +25,7 @@ import (
 type Server struct {
 	ks   *rekey.Server
 	conn *net.UDPConn
+	obs  *obs.Registry // shared with ks; nil when unobserved
 
 	mu    sync.Mutex
 	addrs map[rekey.MemberID]*net.UDPAddr
@@ -33,7 +36,9 @@ type Server struct {
 }
 
 // NewServer binds a UDP socket (addr like "127.0.0.1:0") for the key
-// server's transport.
+// server's transport. The transport reports into the key server's
+// obs registry (rekey.Config.Obs), so one registry observes the whole
+// server-side pipeline.
 func NewServer(ks *rekey.Server, addr string) (*Server, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -43,7 +48,7 @@ func NewServer(ks *rekey.Server, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udptrans: %w", err)
 	}
-	return &Server{ks: ks, conn: conn, addrs: make(map[rekey.MemberID]*net.UDPAddr)}, nil
+	return &Server{ks: ks, conn: conn, obs: ks.Obs(), addrs: make(map[rekey.MemberID]*net.UDPAddr)}, nil
 }
 
 // Addr returns the server's bound address (for clients' NACKs).
@@ -76,33 +81,41 @@ func (s *Server) addrList() []*net.UDPAddr {
 	return out
 }
 
-// Options tune one Distribute run.
+// Options tune one Distribute run's wire behaviour: timing and the
+// unicast budget. The protocol knobs -- rho0, the multicast round
+// budget, the encode worker bound -- are NOT here: Distribute reads
+// them from the key server's shared tuning (rekey.Config.Tuning), so
+// every knob stays defined in exactly one options type.
 type Options struct {
-	// Rho is the proactivity factor for round 1.
-	Rho float64
 	// RoundDur is how long the server listens for NACKs after each
 	// multicast round (covers the maximum member RTT).
 	RoundDur time.Duration
-	// MaxMulticastRounds bounds the multicast phase before unicast
-	// (the paper suggests 1 or 2).
-	MaxMulticastRounds int
 	// MaxUnicastWaves bounds the unicast retransmission phase.
 	MaxUnicastWaves int
 	// SendInterval paces multicast sends; zero sends back to back.
 	SendInterval time.Duration
-	// Workers bounds the goroutines used to precompute each round's
-	// PARITY packets across blocks; 0 means GOMAXPROCS.
-	Workers int
 }
 
-// DefaultOptions returns values suitable for LAN/loopback operation.
+// DefaultOptions returns timing suitable for LAN/loopback operation.
 func DefaultOptions() Options {
 	return Options{
-		Rho:                1.2,
-		RoundDur:           150 * time.Millisecond,
-		MaxMulticastRounds: 2,
-		MaxUnicastWaves:    8,
+		RoundDur:        150 * time.Millisecond,
+		MaxUnicastWaves: 8,
 	}
+}
+
+// Validate checks the wire options, naming the offending field.
+func (o Options) Validate() error {
+	if o.RoundDur < 0 {
+		return fmt.Errorf("udptrans: RoundDur = %v, want >= 0", o.RoundDur)
+	}
+	if o.MaxUnicastWaves < 0 {
+		return fmt.Errorf("udptrans: MaxUnicastWaves = %d, want >= 0", o.MaxUnicastWaves)
+	}
+	if o.SendInterval < 0 {
+		return fmt.Errorf("udptrans: SendInterval = %v, want >= 0", o.SendInterval)
+	}
+	return nil
 }
 
 // Stats reports one distribution run.
@@ -117,38 +130,59 @@ type Stats struct {
 
 // Distribute runs the full transport protocol for one rekey message.
 // It returns once the NACK stream has gone quiet (all members done or
-// the unicast wave budget is exhausted).
-func (s *Server) Distribute(rm *rekey.RekeyMessage, opts Options) (*Stats, error) {
+// the unicast wave budget is exhausted). The protocol knobs (rho0,
+// multicast round budget, encode workers) come from the key server's
+// tuning; opts carries only wire timing. Cancelling ctx aborts the
+// NACK-collection waits and returns ctx's error.
+func (s *Server) Distribute(ctx context.Context, rm *rekey.RekeyMessage, opts Options) (*Stats, error) {
 	if len(rm.ENC) == 0 {
 		return &Stats{}, nil
 	}
-	if opts.RoundDur <= 0 {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.RoundDur == 0 {
 		opts.RoundDur = 150 * time.Millisecond
 	}
-	if opts.MaxMulticastRounds <= 0 {
-		opts.MaxMulticastRounds = 2
-	}
-	if opts.MaxUnicastWaves <= 0 {
+	if opts.MaxUnicastWaves == 0 {
 		opts.MaxUnicastWaves = 8
 	}
+	tun := s.ks.Tuning()
+	maxRounds := tun.MaxMulticastRounds
+	if maxRounds <= 0 {
+		maxRounds = 2
+	}
+	s.obs.Set(obs.GRho, tun.InitialRho)
+
+	// A cancelled context unblocks the read wait in collectNACKs by
+	// expiring the socket's read deadline immediately.
+	stopWatch := context.AfterFunc(ctx, func() {
+		s.conn.SetReadDeadline(time.Now()) //nolint:errcheck
+	})
+	defer stopWatch()
+
 	st := &Stats{}
 	k := rm.Part.K
 	blocks := rm.Part.NumBlocks()
 	nextParity := make([]int, blocks)
-	for b := range nextParity {
-		nextParity[b] = 0
-	}
 
 	// pendingUsers accumulates node IDs that NACKed and may need USR
 	// packets in the unicast phase.
 	pendingUsers := make(map[int]bool)
 
 	for round := 1; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		var roundStart time.Time
+		if s.obs.Enabled() {
+			roundStart = time.Now()
+		}
 		var refs []blockplan.Ref
 		if round == 1 {
-			refs = blockplan.RoundOne(rm.Part, opts.Rho)
+			refs = blockplan.RoundOne(rm.Part, tun.InitialRho)
 			for b := range nextParity {
-				nextParity[b] = blockplan.ProactiveParity(k, opts.Rho)
+				nextParity[b] = blockplan.ProactiveParity(k, tun.InitialRho)
 			}
 		} else {
 			perBlock := make([][]int, blocks)
@@ -160,18 +194,23 @@ func (s *Server) Distribute(rm *rekey.RekeyMessage, opts Options) (*Stats, error
 			}
 			refs = blockplan.Interleave(perBlock)
 		}
+		s.obs.Emit(obs.Event{Kind: obs.EvRoundStart, MsgID: rm.MsgID, Round: round, Value: float64(len(refs))})
 		// After either branch, nextParity[b] is the total parity prefix
 		// this round's refs reach into; generate it across all blocks in
 		// parallel so multicastRefs hits the cache.
-		if err := rm.PrecomputeParity(nextParity, opts.Workers); err != nil {
+		if err := rm.PrecomputeParity(nextParity, tun.Workers); err != nil {
 			return st, err
 		}
-		if err := s.multicastRefs(rm, refs, opts.SendInterval, st); err != nil {
+		if err := s.multicastRefs(ctx, rm, refs, opts.SendInterval, st); err != nil {
 			return st, err
 		}
 		st.Rounds = round
 
-		nacks, amax, users, err := s.collectNACKs(rm, blocks, k, opts.RoundDur)
+		nacks, amax, users, err := s.collectNACKs(ctx, rm, blocks, k, opts.RoundDur)
+		if s.obs.Enabled() {
+			s.obs.ObserveSince(obs.HRoundLatency, roundStart)
+			s.obs.Observe(obs.HNACKsPerRound, float64(nacks))
+		}
 		if err != nil {
 			return st, err
 		}
@@ -183,20 +222,29 @@ func (s *Server) Distribute(rm *rekey.RekeyMessage, opts Options) (*Stats, error
 			return st, nil
 		}
 		s.lastAmax = amax
-		if round >= opts.MaxMulticastRounds {
+		if round >= maxRounds {
 			break
 		}
 	}
 
 	// Unicast phase: escalating duplicates per Fig. 22.
+	s.obs.Emit(obs.Event{Kind: obs.EvSwitchToUnicast, MsgID: rm.MsgID,
+		Round: st.Rounds, Value: float64(len(pendingUsers))})
 	dups := 2
 	for wave := 1; wave <= opts.MaxUnicastWaves && len(pendingUsers) > 0; wave++ {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		st.UnicastWaves = wave
+		s.obs.Inc(obs.CUnicastWaves)
 		if err := s.unicastUSR(rm, pendingUsers, dups, st); err != nil {
 			return st, err
 		}
 		dups++
-		nacks, _, users, err := s.collectNACKs(rm, blocks, k, opts.RoundDur)
+		nacks, _, users, err := s.collectNACKs(ctx, rm, blocks, k, opts.RoundDur)
+		if s.obs.Enabled() {
+			s.obs.Observe(obs.HNACKsPerRound, float64(nacks))
+		}
 		if err != nil {
 			return st, err
 		}
@@ -212,10 +260,13 @@ func (s *Server) Distribute(rm *rekey.RekeyMessage, opts Options) (*Stats, error
 	return st, nil
 }
 
-func (s *Server) multicastRefs(rm *rekey.RekeyMessage, refs []blockplan.Ref, pace time.Duration, st *Stats) error {
+func (s *Server) multicastRefs(ctx context.Context, rm *rekey.RekeyMessage, refs []blockplan.Ref, pace time.Duration, st *Stats) error {
 	addrs := s.addrList()
 	k := rm.Part.K
 	for _, r := range refs {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		var raw []byte
 		var err error
 		if r.IsParity(k) {
@@ -225,9 +276,11 @@ func (s *Server) multicastRefs(rm *rekey.RekeyMessage, refs []blockplan.Ref, pac
 			}
 			raw, err = p.Marshal()
 			st.ParitySent++
+			s.obs.Inc(obs.CParitySent)
 		} else {
 			raw, err = rm.ENC[r.Block*k+r.Shard].Marshal()
 			st.EncSent++
+			s.obs.Inc(obs.CEncSent)
 		}
 		if err != nil {
 			return err
@@ -245,13 +298,16 @@ func (s *Server) multicastRefs(rm *rekey.RekeyMessage, refs []blockplan.Ref, pac
 }
 
 // collectNACKs listens for one round duration and aggregates feedback.
-func (s *Server) collectNACKs(rm *rekey.RekeyMessage, blocks, k int, dur time.Duration) (nacks int, amax []int, users map[int]bool, err error) {
+func (s *Server) collectNACKs(ctx context.Context, rm *rekey.RekeyMessage, blocks, k int, dur time.Duration) (nacks int, amax []int, users map[int]bool, err error) {
 	amax = make([]int, blocks)
 	users = make(map[int]bool)
 	deadline := time.Now().Add(dur)
 	buf := make([]byte, 2048)
 	seen := make(map[uint16]bool)
 	for {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, nil, err
+		}
 		if err := s.conn.SetReadDeadline(deadline); err != nil {
 			return 0, nil, nil, err
 		}
@@ -259,28 +315,43 @@ func (s *Server) collectNACKs(rm *rekey.RekeyMessage, blocks, k int, dur time.Du
 		if rerr != nil {
 			var ne net.Error
 			if errors.As(rerr, &ne) && ne.Timeout() {
+				if err := ctx.Err(); err != nil {
+					return 0, nil, nil, err
+				}
 				return nacks, amax, users, nil
 			}
 			return 0, nil, nil, rerr
 		}
 		typ, derr := packet.Detect(buf[:n])
 		if derr != nil || typ != packet.TypeNACK {
+			s.obs.Inc(obs.CNACKIgnored)
 			continue
 		}
 		nk, perr := packet.ParseNACK(append([]byte(nil), buf[:n]...))
 		if perr != nil || nk.MsgID != rm.MsgID {
+			s.obs.Inc(obs.CNACKIgnored)
 			continue
 		}
 		if seen[nk.UserID] {
+			s.obs.Inc(obs.CNACKIgnored)
 			continue // one NACK per user per round
 		}
 		seen[nk.UserID] = true
 		nacks++
 		users[int(nk.UserID)] = true
+		maxReq := 0
 		for _, r := range nk.Requests {
 			if int(r.BlockID) < blocks && int(r.Count) > amax[r.BlockID] {
 				amax[r.BlockID] = int(r.Count)
 			}
+			if int(r.Count) > maxReq {
+				maxReq = int(r.Count)
+			}
+		}
+		if s.obs.Enabled() {
+			s.obs.Inc(obs.CNACKRecv)
+			s.obs.Emit(obs.Event{Kind: obs.EvNACKReceived, MsgID: rm.MsgID,
+				User: int(nk.UserID), Value: float64(maxReq)})
 		}
 	}
 }
@@ -305,6 +376,7 @@ func (s *Server) unicastUSR(rm *rekey.RekeyMessage, users map[int]bool, dups int
 				return fmt.Errorf("udptrans: unicast: %w", err)
 			}
 			st.UsrSent++
+			s.obs.Inc(obs.CUsrSent)
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package udptrans
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 	"time"
@@ -11,9 +12,9 @@ import (
 
 // group spins up a key server, UDP transport server, and n clients on
 // loopback, bootstrapped through the first rekey message.
-func group(t *testing.T, n int, seed uint64, drop func(i int) func([]byte) bool) (*rekey.Server, *Server, map[rekey.MemberID]*Client) {
+func group(t *testing.T, n int, cfg rekey.Config, drop func(i int) func([]byte) bool) (*rekey.Server, *Server, map[rekey.MemberID]*Client) {
 	t.Helper()
-	ks, err := rekey.NewServer(rekey.Config{KeySeed: seed})
+	ks, err := rekey.NewServer(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,10 +48,10 @@ func group(t *testing.T, n int, seed uint64, drop func(i int) func([]byte) bool)
 		}
 		clients[rekey.MemberID(i)] = c
 		srv.SetMemberAddr(rekey.MemberID(i), c.Addr())
-		go c.Run()
+		go c.Run(context.Background()) //nolint:errcheck
 		t.Cleanup(func() { c.Close() })
 	}
-	if _, err := srv.Distribute(rm, DefaultOptions()); err != nil {
+	if _, err := srv.Distribute(context.Background(), rm, DefaultOptions()); err != nil {
 		t.Fatalf("bootstrap distribute: %v", err)
 	}
 	waitKeyed(t, ks, clients, 3*time.Second)
@@ -87,7 +88,7 @@ func waitKeyed(t *testing.T, ks *rekey.Server, clients map[rekey.MemberID]*Clien
 }
 
 func TestLoopbackLossless(t *testing.T) {
-	ks, srv, clients := group(t, 20, 1, nil)
+	ks, srv, clients := group(t, 20, rekey.Config{KeySeed: 1}, nil)
 	// Churn: 3 leave, 2 join.
 	for _, id := range []rekey.MemberID{2, 5, 11} {
 		if err := ks.QueueLeave(id); err != nil {
@@ -117,10 +118,10 @@ func TestLoopbackLossless(t *testing.T) {
 		}
 		clients[id] = c
 		srv.SetMemberAddr(id, c.Addr())
-		go c.Run()
+		go c.Run(context.Background()) //nolint:errcheck
 		t.Cleanup(func() { c.Close() })
 	}
-	st, err := srv.Distribute(rm, DefaultOptions())
+	st, err := srv.Distribute(context.Background(), rm, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,11 @@ func TestLoopbackWithLoss(t *testing.T) {
 			return rng.Float64() < 0.3
 		}
 	}
-	ks, srv, clients := group(t, 24, 2, drop)
+	// rho = 1: no proactive parity, so recovery is forced through the
+	// NACK-driven reactive path.
+	tun := rekey.DefaultTuning()
+	tun.InitialRho = 1.0
+	ks, srv, clients := group(t, 24, rekey.Config{Tuning: tun, KeySeed: 2}, drop)
 
 	for i := 0; i < 6; i++ {
 		id := rekey.MemberID(i*4 + 1)
@@ -167,9 +172,7 @@ func TestLoopbackWithLoss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := DefaultOptions()
-	opts.Rho = 1.0 // force reactive recovery
-	st, err := srv.Distribute(rm, opts)
+	st, err := srv.Distribute(context.Background(), rm, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +192,7 @@ func TestDistributeEmptyMessage(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	st, err := srv.Distribute(&rekey.RekeyMessage{}, DefaultOptions())
+	st, err := srv.Distribute(context.Background(), &rekey.RekeyMessage{}, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package rekey
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -10,6 +11,39 @@ import (
 	"repro/internal/keytree"
 	"repro/internal/packet"
 )
+
+// Sentinel errors returned by Member.Ingest. Wrapped errors carry
+// detail; match with errors.Is.
+var (
+	// ErrBadPacket: the bytes are not a packet a member can consume
+	// (malformed, truncated, or a server-bound type such as NACK).
+	ErrBadPacket = errors.New("rekey: bad packet")
+	// ErrWrongMessage: a well-formed packet that does not apply to this
+	// member's state -- its encryptions do not unwrap with the keys
+	// held, or its IDs are inconsistent with the member's derived ID.
+	ErrWrongMessage = errors.New("rekey: packet does not apply to this member")
+	// ErrStale: a packet for a rekey message the member has already
+	// completed; it carries no new information.
+	ErrStale = errors.New("rekey: stale packet for a completed message")
+)
+
+// IngestResult is the typed outcome of feeding one packet to a Member.
+type IngestResult struct {
+	// Kind is the packet type consumed (ENC, PARITY or USR).
+	Kind packet.Type
+	// MsgID is the rekey message the packet belongs to.
+	MsgID uint8
+	// Block and Seq locate ENC/PARITY shards; both are -1 for USR.
+	Block, Seq int
+	// Duplicate reports a shard the member already held.
+	Duplicate bool
+	// Recovered reports that completion required FEC decoding (as
+	// opposed to directly receiving the member's ENC or a USR).
+	Recovered bool
+	// Done reports that this packet completed the member's key
+	// recovery for the current rekey message.
+	Done bool
+}
 
 // Member is the client side of the rekey protocol: it ingests raw
 // ENC/PARITY/USR packets, recovers its specific ENC packet (directly or
@@ -86,13 +120,16 @@ func (m *Member) Done() bool {
 	return m.cur == nil || m.cur.done
 }
 
-// Ingest consumes one raw packet from the network. It returns true when
-// this packet completed the member's key recovery for the current rekey
-// message.
-func (m *Member) Ingest(raw []byte) (bool, error) {
+// Ingest consumes one raw packet from the network and reports what it
+// meant: which shard it was, whether it was a duplicate, and whether it
+// completed the member's key recovery for the current rekey message
+// (IngestResult.Done). Errors wrap the package sentinels (ErrBadPacket,
+// ErrWrongMessage, ErrStale) for errors.Is dispatch; transports treat
+// all three as non-fatal.
+func (m *Member) Ingest(raw []byte) (IngestResult, error) {
 	typ, err := packet.Detect(raw)
 	if err != nil {
-		return false, err
+		return IngestResult{Block: -1, Seq: -1}, fmt.Errorf("%w: %v", ErrBadPacket, err)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -100,23 +137,24 @@ func (m *Member) Ingest(raw []byte) (bool, error) {
 	case packet.TypeENC:
 		p, err := packet.ParseENC(raw)
 		if err != nil {
-			return false, err
+			return IngestResult{Kind: typ, Block: -1, Seq: -1}, fmt.Errorf("%w: %v", ErrBadPacket, err)
 		}
 		return m.ingestENC(p, raw)
 	case packet.TypePARITY:
 		p, err := packet.ParsePARITY(raw)
 		if err != nil {
-			return false, err
+			return IngestResult{Kind: typ, Block: -1, Seq: -1}, fmt.Errorf("%w: %v", ErrBadPacket, err)
 		}
 		return m.ingestPARITY(p)
 	case packet.TypeUSR:
 		p, err := packet.ParseUSR(raw)
 		if err != nil {
-			return false, err
+			return IngestResult{Kind: typ, Block: -1, Seq: -1}, fmt.Errorf("%w: %v", ErrBadPacket, err)
 		}
 		return m.ingestUSR(p)
 	default:
-		return false, fmt.Errorf("rekey: member received %v packet", typ)
+		return IngestResult{Kind: typ, Block: -1, Seq: -1},
+			fmt.Errorf("%w: member received %v packet", ErrBadPacket, typ)
 	}
 }
 
@@ -133,23 +171,26 @@ func (m *Member) assembly(msgID uint8) *msgAssembly {
 	return m.cur
 }
 
-func (m *Member) ingestENC(p *packet.ENC, raw []byte) (bool, error) {
+func (m *Member) ingestENC(p *packet.ENC, raw []byte) (IngestResult, error) {
+	res := IngestResult{Kind: packet.TypeENC, MsgID: p.MsgID, Block: int(p.BlockID), Seq: int(p.Seq)}
 	a := m.assembly(p.MsgID)
 	if a.done {
-		return false, nil
+		return res, ErrStale
 	}
 	a.maxKID = int(p.MaxKID)
 	// Rederive this interval's node ID before the range check.
 	myID, ok := keytree.NewID(m.view.D, m.view.ID, int(p.MaxKID))
 	if !ok {
-		return false, fmt.Errorf("rekey: member %d has no valid ID under maxKID %d", m.view.Member, p.MaxKID)
+		return res, fmt.Errorf("%w: member %d has no valid ID under maxKID %d",
+			ErrWrongMessage, m.view.Member, p.MaxKID)
 	}
 	if int(p.FrmID) <= myID && myID <= int(p.ToID) {
 		if err := m.view.Apply(int(p.MaxKID), p.Encs); err != nil {
-			return false, err
+			return res, fmt.Errorf("%w: %v", ErrWrongMessage, err)
 		}
 		a.done = true
-		return true, nil
+		res.Done = true
+		return res, nil
 	}
 	if !p.Dup {
 		a.est.Observe(myID, blockplan.ENCHeader{
@@ -158,49 +199,55 @@ func (m *Member) ingestENC(p *packet.ENC, raw []byte) (bool, error) {
 			MaxKID: int(p.MaxKID),
 		}, m.k, m.view.D)
 	}
-	m.store(a, int(p.BlockID), int(p.Seq), raw[packet.FECOffset:])
-	return m.tryDecode(a)
+	res.Duplicate = !m.store(a, int(p.BlockID), int(p.Seq), raw[packet.FECOffset:])
+	return m.tryDecode(a, res)
 }
 
-func (m *Member) ingestPARITY(p *packet.PARITY) (bool, error) {
+func (m *Member) ingestPARITY(p *packet.PARITY) (IngestResult, error) {
+	res := IngestResult{Kind: packet.TypePARITY, MsgID: p.MsgID, Block: int(p.BlockID), Seq: int(p.Seq)}
 	a := m.assembly(p.MsgID)
 	if a.done {
-		return false, nil
+		return res, ErrStale
 	}
-	m.store(a, int(p.BlockID), int(p.Seq), p.Payload)
-	return m.tryDecode(a)
+	res.Duplicate = !m.store(a, int(p.BlockID), int(p.Seq), p.Payload)
+	return m.tryDecode(a, res)
 }
 
-func (m *Member) ingestUSR(p *packet.USR) (bool, error) {
+func (m *Member) ingestUSR(p *packet.USR) (IngestResult, error) {
+	res := IngestResult{Kind: packet.TypeUSR, MsgID: p.MsgID, Block: -1, Seq: -1}
 	a := m.assembly(p.MsgID)
 	if a.done {
-		return false, nil
+		return res, ErrStale
 	}
 	if err := m.view.Apply(int(p.MaxKID), p.Encs); err != nil {
-		return false, err
+		return res, fmt.Errorf("%w: %v", ErrWrongMessage, err)
 	}
 	if m.view.ID != int(p.NewID) {
-		return false, fmt.Errorf("rekey: USR says ID %d, derived %d", p.NewID, m.view.ID)
+		return res, fmt.Errorf("%w: USR says ID %d, derived %d", ErrWrongMessage, p.NewID, m.view.ID)
 	}
 	a.done = true
-	return true, nil
+	res.Done = true
+	return res, nil
 }
 
-func (m *Member) store(a *msgAssembly, block, seq int, payload []byte) {
+// store records a shard and reports whether it was new.
+func (m *Member) store(a *msgAssembly, block, seq int, payload []byte) bool {
 	blk := a.shards[block]
 	if blk == nil {
 		blk = make(map[int][]byte)
 		a.shards[block] = blk
 	}
-	if _, dup := blk[seq]; !dup {
-		blk[seq] = append([]byte(nil), payload...)
+	if _, dup := blk[seq]; dup {
+		return false
 	}
+	blk[seq] = append([]byte(nil), payload...)
+	return true
 }
 
 // tryDecode attempts FEC recovery of every candidate block inside the
 // estimated block-ID range that holds at least k shards; a decoded
 // block that contains the member's packet completes recovery.
-func (m *Member) tryDecode(a *msgAssembly) (bool, error) {
+func (m *Member) tryDecode(a *msgAssembly, res IngestResult) (IngestResult, error) {
 	lo := a.est.Low
 	if lo < 0 {
 		lo = 0
@@ -225,7 +272,7 @@ func (m *Member) tryDecode(a *msgAssembly) (bool, error) {
 			copy(full[packet.FECOffset:], payload)
 			p, err := packet.ParseENC(full)
 			if err != nil {
-				return false, fmt.Errorf("rekey: decoded block %d slot %d corrupt: %w", block, seq, err)
+				return res, fmt.Errorf("rekey: decoded block %d slot %d corrupt: %w", block, seq, err)
 			}
 			myID, ok := keytree.NewID(m.view.D, m.view.ID, int(p.MaxKID))
 			if !ok {
@@ -233,14 +280,16 @@ func (m *Member) tryDecode(a *msgAssembly) (bool, error) {
 			}
 			if int(p.FrmID) <= myID && myID <= int(p.ToID) {
 				if err := m.view.Apply(int(p.MaxKID), p.Encs); err != nil {
-					return false, err
+					return res, fmt.Errorf("%w: %v", ErrWrongMessage, err)
 				}
 				a.done = true
-				return true, nil
+				res.Done = true
+				res.Recovered = true
+				return res, nil
 			}
 		}
 	}
-	return false, nil
+	return res, nil
 }
 
 // NACK returns the feedback the member would send at a round boundary:

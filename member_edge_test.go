@@ -1,6 +1,7 @@
 package rekey
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/packet"
@@ -22,7 +23,9 @@ func TestMemberDuplicateIngestIdempotent(t *testing.T) {
 	pkt, _ := rm.PacketFor(cred.NodeID)
 	raw, _ := pkt.Marshal()
 	for i := 0; i < 3; i++ {
-		if _, err := m.Ingest(raw); err != nil {
+		// Re-ingesting after completion is reported as ErrStale, never
+		// as a hard failure or a changed key.
+		if _, err := m.Ingest(raw); err != nil && !errors.Is(err, ErrStale) {
 			t.Fatalf("ingest %d: %v", i, err)
 		}
 	}
@@ -75,19 +78,19 @@ func TestMemberParityOnlyRecovery(t *testing.T) {
 	if _, err := victim.Ingest(raw); err != nil {
 		t.Fatal(err)
 	}
-	done := false
+	var res IngestResult
 	for i := 0; i < k; i++ {
 		par, err := rm.Parity(blk, i)
 		if err != nil {
 			t.Fatal(err)
 		}
 		praw, _ := par.Marshal()
-		done, err = victim.Ingest(praw)
+		res, err = victim.Ingest(praw)
 		if err != nil {
 			t.Fatal(err)
 		}
 	}
-	if !done {
+	if !res.Done {
 		t.Fatal("k parity packets did not recover the block")
 	}
 	gk, ok := victim.GroupKey()
@@ -119,11 +122,11 @@ func TestMemberStaleMessagePacketsIgnoredAfterDone(t *testing.T) {
 			t.Fatal(err)
 		}
 		raw, _ := par.Marshal()
-		done, err := m.Ingest(raw)
-		if err != nil {
-			t.Fatal(err)
+		res, err := m.Ingest(raw)
+		if !errors.Is(err, ErrStale) {
+			t.Fatalf("stale parity: err = %v, want ErrStale", err)
 		}
-		if done {
+		if res.Done {
 			t.Fatal("done member reported completion again")
 		}
 	}
@@ -206,11 +209,11 @@ func TestUSRAloneBootstrapsJoiner(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw, _ := usr.Marshal()
-	done, err := m.Ingest(raw)
+	res, err := m.Ingest(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !done {
+	if !res.Done {
 		t.Fatal("USR did not complete the joiner")
 	}
 	gk, ok := m.GroupKey()

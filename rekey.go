@@ -17,20 +17,33 @@
 // adaptive proactivity) live in internal/protocol for simulation and in
 // internal/udptrans for the wire; this package is the key-management
 // core both share.
+//
+// Configuration is a single validated options core: Config embeds
+// Tuning (the shared protocol knobs -- k, d, rho0, numNACK, round
+// budget, workers -- defined once in internal/tuning and reused by
+// every layer), plus the key seed and an optional obs.Registry.
+// Passing a registry in Config.Obs threads live metrics and trace
+// events through the server, the message builder and the transports; a
+// nil registry costs only a nil check. Member.Ingest reports typed
+// outcomes: an IngestResult plus errors wrapping the ErrBadPacket,
+// ErrWrongMessage and ErrStale sentinels for errors.Is dispatch.
 package rekey
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/assign"
 	"repro/internal/blockplan"
 	"repro/internal/fec"
 	"repro/internal/keys"
 	"repro/internal/keytree"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/protocol"
+	"repro/internal/tuning"
 )
 
 // MemberID identifies a group member across its lifetime.
@@ -46,24 +59,34 @@ type Credentials struct {
 	BlockSize int
 }
 
+// Tuning is the protocol's shared tuning core: the single definition
+// of k, tree degree, rho0, the NACK targets and the worker bound. It
+// is embedded here, in protocol.Config, and read by the UDP transport,
+// so every layer agrees on one validated set of knobs.
+type Tuning = tuning.Tuning
+
+// DefaultTuning returns the paper's default knobs (DESIGN.md): k=10,
+// d=4, rho0=1, numNACK=20 (cap 100), unicast after 2 multicast rounds.
+func DefaultTuning() Tuning { return tuning.Default() }
+
 // Config configures a Server.
 type Config struct {
-	// Degree is the key tree degree d (default 4).
-	Degree int
-	// BlockSize is the FEC block size k (default 10).
-	BlockSize int
+	// Tuning holds the shared protocol knobs. Zero-valued fields take
+	// the paper defaults (DefaultTuning); the server itself consumes K
+	// and Degree, while the transports read the rest through
+	// Server.Tuning so rho0, the NACK target and the worker bound are
+	// configured in exactly one place.
+	Tuning
 	// KeySeed, when non-zero, makes key generation deterministic --
 	// for tests and experiments only.
 	KeySeed uint64
+	// Obs, when non-nil, receives the server's metrics and trace
+	// events. A nil registry costs the pipeline nothing.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
-	if c.Degree == 0 {
-		c.Degree = 4
-	}
-	if c.BlockSize == 0 {
-		c.BlockSize = 10
-	}
+	c.Tuning = c.Tuning.WithDefaults()
 	return c
 }
 
@@ -72,6 +95,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	mu      sync.Mutex
 	cfg     Config
+	obs     *obs.Registry
 	tree    *keytree.Tree
 	joins   []MemberID
 	leaves  []MemberID
@@ -83,11 +107,8 @@ type Server struct {
 // NewServer creates a server with an empty group.
 func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Degree < 2 {
-		return nil, fmt.Errorf("rekey: tree degree %d", cfg.Degree)
-	}
-	if cfg.BlockSize < 1 || cfg.BlockSize > fec.MaxShards/2 {
-		return nil, fmt.Errorf("rekey: block size %d outside [1,%d]", cfg.BlockSize, fec.MaxShards/2)
+	if err := cfg.Tuning.Validate(); err != nil {
+		return nil, fmt.Errorf("rekey: %w", err)
 	}
 	gen := keys.NewGenerator()
 	if cfg.KeySeed != 0 {
@@ -95,10 +116,20 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	return &Server{
 		cfg:    cfg,
+		obs:    cfg.Obs,
 		tree:   keytree.New(cfg.Degree, gen),
 		queued: make(map[MemberID]bool),
 	}, nil
 }
+
+// Tuning returns the server's effective (defaulted, validated) tuning.
+// The transports read rho0, the round budget and the worker bound from
+// here so the knobs stay defined in one place.
+func (s *Server) Tuning() Tuning { return s.cfg.Tuning }
+
+// Obs returns the registry the server reports to (nil when
+// unobserved). The UDP transport shares it.
+func (s *Server) Obs() *obs.Registry { return s.obs }
 
 // QueueJoin records a join request for the next rekey interval. The
 // member's credentials become available after the next Rekey call.
@@ -113,6 +144,7 @@ func (s *Server) QueueJoin(m MemberID) error {
 	}
 	s.queued[m] = true
 	s.joins = append(s.joins, m)
+	s.obs.Set(obs.GPendingJoins, float64(len(s.joins)))
 	return nil
 }
 
@@ -128,6 +160,7 @@ func (s *Server) QueueLeave(m MemberID) error {
 	}
 	s.queued[m] = true
 	s.leaves = append(s.leaves, m)
+	s.obs.Set(obs.GPendingLeaves, float64(len(s.leaves)))
 	return nil
 }
 
@@ -163,7 +196,7 @@ func (s *Server) Credentials(m MemberID) (Credentials, bool) {
 	key, _ := s.tree.IndividualKey(m)
 	return Credentials{
 		Member: m, NodeID: id, Key: key,
-		Degree: s.cfg.Degree, BlockSize: s.cfg.BlockSize,
+		Degree: s.cfg.Degree, BlockSize: s.cfg.K,
 	}, true
 }
 
@@ -180,6 +213,11 @@ func (s *Server) Rekey() (*RekeyMessage, error) {
 	if len(s.joins) == 0 && len(s.leaves) == 0 {
 		return nil, ErrNoChange
 	}
+	var buildStart time.Time
+	if s.obs.Enabled() {
+		buildStart = time.Now()
+	}
+	joins, leaves := len(s.joins), len(s.leaves)
 	res, err := s.tree.ProcessBatch(s.joins, s.leaves)
 	if err != nil {
 		return nil, err
@@ -193,11 +231,11 @@ func (s *Server) Rekey() (*RekeyMessage, error) {
 	}
 	msgID := s.msgSeq & packet.MaxMsgID
 	s.msgSeq++
-	encs, err := assign.Materialize(plan, res, msgID, s.cfg.BlockSize)
+	encs, err := assign.Materialize(plan, res, msgID, s.cfg.K)
 	if err != nil {
 		return nil, err
 	}
-	part, err := blockplan.NewPartition(len(plan.Packets), s.cfg.BlockSize)
+	part, err := blockplan.NewPartition(len(plan.Packets), s.cfg.K)
 	if err != nil {
 		return nil, err
 	}
@@ -208,9 +246,21 @@ func (s *Server) Rekey() (*RekeyMessage, error) {
 		ENC:    encs,
 		Part:   part,
 		degree: s.cfg.Degree,
-		k:      s.cfg.BlockSize,
+		k:      s.cfg.K,
+		obs:    s.obs,
 	}
 	s.lastMsg = rm
+	if s.obs.Enabled() {
+		s.obs.Inc(obs.CRekeys)
+		s.obs.Add(obs.CJoins, int64(joins))
+		s.obs.Add(obs.CLeaves, int64(leaves))
+		s.obs.Observe(obs.HBatchSize, float64(joins+leaves))
+		s.obs.ObserveSince(obs.HRekeyBuild, buildStart)
+		s.obs.Set(obs.GGroupSize, float64(s.tree.N()))
+		s.obs.Set(obs.GPendingJoins, 0)
+		s.obs.Set(obs.GPendingLeaves, 0)
+		s.obs.Emit(obs.Event{Kind: obs.EvRekeyBuilt, MsgID: msgID, Value: float64(part.NumReal)})
+	}
 	return rm, nil
 }
 
@@ -233,6 +283,7 @@ type RekeyMessage struct {
 
 	degree int
 	k      int
+	obs    *obs.Registry
 
 	mu     sync.Mutex
 	coder  *fec.Coder
@@ -305,6 +356,7 @@ func (rm *RekeyMessage) Parity(block, idx int) (*packet.PARITY, error) {
 		return nil, fmt.Errorf("fec: parity index %d out of range [0,%d)", idx, rm.coder.MaxParity())
 	}
 	if idx >= len(rm.parity[block]) {
+		rm.obs.Inc(obs.CParityCacheMiss)
 		data, err := rm.blockData(block)
 		if err != nil {
 			return nil, err
@@ -315,6 +367,8 @@ func (rm *RekeyMessage) Parity(block, idx int) (*packet.PARITY, error) {
 			return nil, err
 		}
 		rm.parity[block] = append(rm.parity[block], fresh...)
+	} else {
+		rm.obs.Inc(obs.CParityCacheHit)
 	}
 	return rm.parityPacket(block, idx, rm.parity[block][idx])
 }
@@ -359,12 +413,22 @@ func (rm *RekeyMessage) PrecomputeParity(counts []int, workers int) error {
 	if len(reqs) == 0 {
 		return nil
 	}
+	var encStart time.Time
+	if rm.obs.Enabled() {
+		encStart = time.Now()
+	}
 
 	// Encode outside the lock: the coder and the materialised block data
 	// are read-only from here on.
 	outs, err := protocol.EncodeBlocks(rm.coder, reqs, workers)
 	if err != nil {
 		return err
+	}
+	if rm.obs.Enabled() {
+		rm.obs.ObserveSince(obs.HParityEncode, encStart)
+		for _, rq := range reqs {
+			rm.obs.Observe(obs.HParityPerBlock, float64(rq.N))
+		}
 	}
 
 	rm.mu.Lock()

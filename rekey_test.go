@@ -56,20 +56,24 @@ func deliverSpecific(t testing.TB, rm *RekeyMessage, m *Member, nodeID int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	done, err := m.Ingest(raw)
+	res, err := m.Ingest(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !done {
+	if !res.Done {
 		t.Fatalf("node %d: specific packet did not complete recovery", nodeID)
 	}
 }
 
 func TestServerValidation(t *testing.T) {
-	if _, err := NewServer(Config{Degree: 1}); err == nil {
+	badDeg := DefaultTuning()
+	badDeg.Degree = 1
+	if _, err := NewServer(Config{Tuning: badDeg}); err == nil {
 		t.Error("degree 1 accepted")
 	}
-	if _, err := NewServer(Config{BlockSize: 1000}); err == nil {
+	badK := DefaultTuning()
+	badK.K = 1000
+	if _, err := NewServer(Config{Tuning: badK}); err == nil {
 		t.Error("block size 1000 accepted")
 	}
 	s := newServer(t, 1)
@@ -181,11 +185,11 @@ func TestMemberRecoversViaFEC(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		done, err := victim.Ingest(raw)
+		res, err := victim.Ingest(raw)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if done {
+		if res.Done {
 			t.Fatal("done before k shards arrived")
 		}
 		delivered++
@@ -201,11 +205,11 @@ func TestMemberRecoversViaFEC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	done, err := victim.Ingest(raw)
+	res, err := victim.Ingest(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !done {
+	if !res.Done {
 		t.Fatal("k-th shard (parity) did not complete FEC recovery")
 	}
 	gk, ok := victim.GroupKey()
@@ -281,11 +285,11 @@ func TestMemberNACKAndUSR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	done, err := victim.Ingest(raw)
+	res, err := victim.Ingest(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !done {
+	if !res.Done {
 		t.Fatal("USR did not complete recovery")
 	}
 	gk, ok := victim.GroupKey()
@@ -406,8 +410,8 @@ func TestEvictedMemberCannotFollow(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Ingest may error (its unwrap fails) or simply not complete.
-		done, _ := evicted.Ingest(raw)
-		if done {
+		res, _ := evicted.Ingest(raw)
+		if res.Done {
 			gk, _ := evicted.GroupKey()
 			if gk != old {
 				t.Fatal("evicted member derived the new group key")
