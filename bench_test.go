@@ -309,6 +309,161 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 }
 
+// benchTrees caches populated key trees per size so the parallel and
+// sequential ProcessBatch sub-benchmarks share one (deterministic)
+// build instead of paying the million-member population twice.
+var benchTrees = map[int]*keytree.Tree{}
+
+func benchTree(b *testing.B, n int) *keytree.Tree {
+	b.Helper()
+	if tr, ok := benchTrees[n]; ok {
+		return tr
+	}
+	tr := keytree.New(4, keys.NewDeterministicGenerator(uint64(n)))
+	joins := make([]keytree.Member, n)
+	for i := range joins {
+		joins[i] = keytree.Member(i)
+	}
+	if _, err := tr.ProcessBatch(joins, nil); err != nil {
+		b.Fatal(err)
+	}
+	benchTrees[n] = tr
+	return tr
+}
+
+// BenchmarkProcessBatch measures one leave-heavy batch (J=0, L=N/4) on
+// trees of 4096 and 2^20 members, for the parallel pipeline and the
+// retained sequential reference. This is the server-capacity unit of
+// DESIGN.md's Section 8 analysis at the paper's largest N; the
+// acceptance target is sub-second at N=2^20 on a multi-core host with
+// near-linear -cpu 1 -> 4 scaling, and >= 5x fewer allocations than
+// the sequential reference.
+func BenchmarkProcessBatch(b *testing.B) {
+	for _, n := range []int{4096, 1 << 20} {
+		for _, seq := range []bool{false, true} {
+			name := fmt.Sprintf("N=%d,J=0,L=N÷4", n)
+			if seq {
+				name += "/seq"
+			}
+			b.Run(name, func(b *testing.B) {
+				base := benchTree(b, n)
+				rng := rand.New(rand.NewPCG(uint64(n), 9))
+				perm := rng.Perm(n)[:n/4]
+				leaves := make([]keytree.Member, len(perm))
+				for i, p := range perm {
+					leaves[i] = keytree.Member(p)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					tr := base.Clone()
+					b.StartTimer()
+					var err error
+					if seq {
+						_, err = tr.ProcessBatchSeq(nil, leaves)
+					} else {
+						_, err = tr.ProcessBatch(nil, leaves)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFECDecode measures block reconstruction at the paper's
+// packet size for the best case (1 lost data packet) and the heavy
+// case (k/2 lost), for the missing-shard-only decoder and the
+// full-inverse reference. The 1-loss ratio is the receiver-side
+// headline tracked in BENCH_fec.json.
+func BenchmarkFECDecode(b *testing.B) {
+	const k, plen = 10, 1027
+	c, err := fec.NewCoder(k, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 3))
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, plen)
+		for j := range data[i] {
+			data[i][j] = byte(rng.Uint32())
+		}
+	}
+	parity, err := c.EncodeAll(data, 0, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shardsWithLoss := func(nLoss int) []fec.Shard {
+		var shards []fec.Shard
+		for j := nLoss; j < k; j++ {
+			shards = append(shards, fec.Shard{Index: j, Data: data[j]})
+		}
+		for i := 0; i < nLoss; i++ {
+			shards = append(shards, fec.Shard{Index: k + i, Data: parity[i]})
+		}
+		return shards
+	}
+	for _, nLoss := range []int{1, k / 2} {
+		shards := shardsWithLoss(nLoss)
+		out := make([][]byte, k)
+		b.Run(fmt.Sprintf("loss=%d", nLoss), func(b *testing.B) {
+			b.SetBytes(int64(k * plen))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := c.DecodeInto(out, shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("loss=%d/ref", nLoss), func(b *testing.B) {
+			b.SetBytes(int64(k * plen))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.RefDecode(shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKeysWrap compares the three ways to produce one {k'}_k
+// encryption: a cached context with a fixed outer key (the DRBG/HMAC
+// state amortised away), a cached context re-keyed per call (the batch
+// pipeline's actual pattern: every tree edge has a distinct child
+// key), and the one-shot keys.Wrap that rebuilds cipher and MAC per
+// call.
+func BenchmarkKeysWrap(b *testing.B) {
+	g := keys.NewDeterministicGenerator(4)
+	outer, inner := g.MustNewKey(), g.MustNewKey()
+	var out [keys.WrappedSize]byte
+	b.Run("context", func(b *testing.B) {
+		ctx := keys.NewWrapContext(outer)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx.WrapInto(&out, inner)
+		}
+	})
+	b.Run("context-rekey", func(b *testing.B) {
+		ctx := keys.NewWrapContext(outer)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx.SetKey(outer)
+			ctx.WrapInto(&out, inner)
+		}
+	})
+	b.Run("no-context", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			keys.Wrap(outer, inner)
+		}
+	})
+}
+
 // BenchmarkTheorem42 measures the client-side ID rederivation.
 func BenchmarkTheorem42(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -9,6 +9,12 @@
 // counter increment on a nil *obs.Registry threaded through a packet
 // fan-out loop) and records the overhead percentage vs the same loop
 // with no instrumentation calls at all.
+//
+// With -server it additionally measures the server's batch rekey
+// pipeline (parallel vs the sequential reference; -server.big adds the
+// 2^20-member batch) and the missing-shard-only FEC decoder vs the
+// full-inverse reference; -server.check turns the N=4096 comparison
+// into a CI guard that fails when the parallel pipeline falls behind.
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 
 	"repro/internal/fec"
 	"repro/internal/gf256"
+	"repro/internal/keys"
+	"repro/internal/keytree"
 	"repro/internal/obs"
 	"repro/internal/protocol"
 )
@@ -69,9 +77,121 @@ func randData(rng *rand.Rand, k, plen int) [][]byte {
 	return data
 }
 
+// serverResults appends the server-side rows: the batch rekey pipeline
+// (parallel and sequential reference) at N=4096 and optionally 2^20,
+// and the missing-shard FEC decoder against the full-inverse reference
+// at 1 and k/2 losses. With check set, a parallel pipeline slower than
+// 1.25x the sequential reference at N=4096 aborts the run: that guard
+// is the CI tripwire against the fan-out machinery regressing below
+// the path it replaced.
+func serverResults(bl *Baseline, rng *rand.Rand, big, check bool) {
+	sizes := []int{4096}
+	if big {
+		sizes = append(sizes, 1<<20)
+	}
+	for _, n := range sizes {
+		base := keytree.New(4, keys.NewDeterministicGenerator(uint64(n)))
+		joins := make([]keytree.Member, n)
+		for i := range joins {
+			joins[i] = keytree.Member(i)
+		}
+		if _, err := base.ProcessBatch(joins, nil); err != nil {
+			panic(err)
+		}
+		perm := rng.Perm(n)[:n/4]
+		leaves := make([]keytree.Member, len(perm))
+		for i, p := range perm {
+			leaves[i] = keytree.Member(p)
+		}
+		batch := func(seq bool) Result {
+			name := fmt.Sprintf("ProcessBatch/N=%d,J=0,L=N÷4", n)
+			if seq {
+				name += "/seq"
+			}
+			return run(name, 0, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					tr := base.Clone()
+					b.StartTimer()
+					var err error
+					if seq {
+						_, err = tr.ProcessBatchSeq(nil, leaves)
+					} else {
+						_, err = tr.ProcessBatch(nil, leaves)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		// A sub-second op runs only once or twice per testing.Benchmark
+		// call, so a single run is at the mercy of scheduler noise and
+		// first-touch page faults on the ~0.5 GB heap; take the best of
+		// two runs, which converges to each path's true floor.
+		best := func(seq bool) Result {
+			r := batch(seq)
+			if r2 := batch(seq); r2.NsPerOp < r.NsPerOp {
+				r = r2
+			}
+			return r
+		}
+		par, seq := best(false), best(true)
+		bl.Results = append(bl.Results, par, seq)
+		if check && n == 4096 && par.NsPerOp > seq.NsPerOp*1.25 {
+			fmt.Fprintf(os.Stderr,
+				"fecbench: parallel ProcessBatch (%.0f ns/op) slower than 1.25x sequential reference (%.0f ns/op) at N=4096\n",
+				par.NsPerOp, seq.NsPerOp)
+			os.Exit(1)
+		}
+	}
+
+	const k, plen = 10, 1027
+	coder, err := fec.NewCoder(k, k)
+	if err != nil {
+		panic(err)
+	}
+	data := randData(rng, k, plen)
+	parity, err := coder.EncodeAll(data, 0, k)
+	if err != nil {
+		panic(err)
+	}
+	for _, nLoss := range []int{1, k / 2} {
+		var shards []fec.Shard
+		for j := nLoss; j < k; j++ {
+			shards = append(shards, fec.Shard{Index: j, Data: data[j]})
+		}
+		for i := 0; i < nLoss; i++ {
+			shards = append(shards, fec.Shard{Index: k + i, Data: parity[i]})
+		}
+		outBuf := make([][]byte, k)
+		bl.Results = append(bl.Results, run(
+			fmt.Sprintf("FECDecode/loss=%d", nLoss), k*plen,
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := coder.DecodeInto(outBuf, shards); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+		bl.Results = append(bl.Results, run(
+			fmt.Sprintf("FECDecode/loss=%d/ref", nLoss), k*plen,
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := coder.RefDecode(shards); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+	}
+}
+
 func main() {
 	out := flag.String("out", "BENCH_fec.json", "output file ('-' for stdout)")
 	withObs := flag.Bool("obs", false, "also measure the obs no-op instrumentation overhead")
+	server := flag.Bool("server", false, "also measure the server batch-rekey pipeline and the missing-shard decoder")
+	serverBig := flag.Bool("server.big", false, "with -server: include the 2^20-member batch (slow)")
+	serverCheck := flag.Bool("server.check", false, "with -server: exit nonzero if the parallel pipeline falls behind 1.25x the sequential reference at N=4096")
 	flag.Parse()
 
 	bl := Baseline{
@@ -152,6 +272,10 @@ func main() {
 					}
 				}
 			}))
+	}
+
+	if *server {
+		serverResults(&bl, rng, *serverBig, *serverCheck)
 	}
 
 	if *withObs {

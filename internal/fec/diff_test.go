@@ -1,0 +1,207 @@
+package fec
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestDecodeIntoMatchesRefDecode drives the missing-shard-only decoder
+// and the retained full-inverse reference over randomized loss
+// patterns, shard orders and duplicate deliveries; the reconstructed
+// data must be identical bytes.
+func TestDecodeIntoMatchesRefDecode(t *testing.T) {
+	for _, tc := range []struct{ k, maxParity int }{
+		{1, 4}, {2, 6}, {10, 20}, {32, 32}, {128, 128},
+	} {
+		t.Run(fmt.Sprintf("k=%d", tc.k), func(t *testing.T) {
+			c, err := NewCoder(tc.k, tc.maxParity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(uint64(tc.k), 9))
+			for trial := 0; trial < 60; trial++ {
+				plen := 1 + rng.IntN(200)
+				data := randBlock(rng, tc.k, plen)
+				parity, err := c.EncodeAll(data, 0, tc.maxParity)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Drop up to maxParity data shards, supply enough parity,
+				// sprinkle duplicates, then shuffle delivery order.
+				nLoss := rng.IntN(min(tc.k, tc.maxParity) + 1)
+				lost := rng.Perm(tc.k)[:nLoss]
+				isLost := make(map[int]bool, nLoss)
+				for _, j := range lost {
+					isLost[j] = true
+				}
+				var shards []Shard
+				for j, d := range data {
+					if !isLost[j] {
+						shards = append(shards, Shard{Index: j, Data: d})
+					}
+				}
+				for _, i := range rng.Perm(tc.maxParity)[:nLoss+rng.IntN(tc.maxParity-nLoss+1)] {
+					shards = append(shards, Shard{Index: tc.k + i, Data: parity[i]})
+				}
+				if len(shards) > 0 {
+					for n := rng.IntN(3); n > 0; n-- {
+						shards = append(shards, shards[rng.IntN(len(shards))])
+					}
+				}
+				rng.Shuffle(len(shards), func(i, j int) { shards[i], shards[j] = shards[j], shards[i] })
+
+				got, errNew := c.Decode(shards)
+				ref, errRef := c.RefDecode(shards)
+				if errNew != nil || errRef != nil {
+					t.Fatalf("trial %d: decode errors: new=%v ref=%v", trial, errNew, errRef)
+				}
+				for j := range got {
+					if !bytes.Equal(got[j], ref[j]) {
+						t.Fatalf("trial %d: packet %d differs from reference", trial, j)
+					}
+					if !bytes.Equal(got[j], data[j]) {
+						t.Fatalf("trial %d: packet %d differs from original", trial, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeIntoReusesBuffers checks the documented buffer contract:
+// entries with sufficient capacity are filled in place, short or nil
+// entries are replaced.
+func TestDecodeIntoReusesBuffers(t *testing.T) {
+	const k, plen = 8, 64
+	c, err := NewCoder(k, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	data := randBlock(rng, k, plen)
+	parity, err := c.EncodeAll(data, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := []Shard{{Index: k, Data: parity[0]}, {Index: k + 2, Data: parity[2]}}
+	for j := 2; j < k; j++ {
+		shards = append(shards, Shard{Index: j, Data: data[j]})
+	}
+
+	out := make([][]byte, k)
+	big := make([]byte, 2*plen) // ample capacity: must be reused
+	out[0] = big
+	out[3] = make([]byte, 1) // too short: must be replaced
+	if err := c.DecodeInto(out, shards); err != nil {
+		t.Fatal(err)
+	}
+	for j := range out {
+		if !bytes.Equal(out[j], data[j]) {
+			t.Fatalf("packet %d wrong after DecodeInto", j)
+		}
+		if len(out[j]) != plen {
+			t.Fatalf("packet %d has length %d, want %d", j, len(out[j]), plen)
+		}
+	}
+	if &out[0][0] != &big[0] {
+		t.Error("capacious buffer was not reused")
+	}
+
+	// Second decode with the same buffers must still be correct
+	// (stale contents must not leak through).
+	if err := c.DecodeInto(out, shards); err != nil {
+		t.Fatal(err)
+	}
+	for j := range out {
+		if !bytes.Equal(out[j], data[j]) {
+			t.Fatalf("packet %d wrong on buffer-reuse decode", j)
+		}
+	}
+
+	if err := c.DecodeInto(make([][]byte, k-1), shards); err == nil {
+		t.Error("short out slice accepted")
+	}
+}
+
+// TestDecodeMatrixCache checks that repeating one loss pattern pays for
+// a single matrix solve and that the obs counters see the traffic.
+func TestDecodeMatrixCache(t *testing.T) {
+	const k, plen = 10, 32
+	reg := obs.New()
+	c, err := NewCoder(k, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetObs(reg)
+	rng := rand.New(rand.NewPCG(7, 8))
+
+	decodeWithLoss := func(lost ...int) {
+		t.Helper()
+		data := randBlock(rng, k, plen)
+		parity, err := c.EncodeAll(data, 0, len(lost))
+		if err != nil {
+			t.Fatal(err)
+		}
+		isLost := make(map[int]bool)
+		for _, j := range lost {
+			isLost[j] = true
+		}
+		var shards []Shard
+		for j, d := range data {
+			if !isLost[j] {
+				shards = append(shards, Shard{Index: j, Data: d})
+			}
+		}
+		for i := range lost {
+			shards = append(shards, Shard{Index: k + i, Data: parity[i]})
+		}
+		got, err := c.Decode(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range got {
+			if !bytes.Equal(got[j], data[j]) {
+				t.Fatalf("packet %d wrong", j)
+			}
+		}
+	}
+
+	for i := 0; i < 5; i++ {
+		decodeWithLoss(3) // same pattern: one miss, then hits
+	}
+	decodeWithLoss(4)    // new pattern: one more miss
+	decodeWithLoss(3, 4) // distinct from both singles
+	decodeWithLoss()     // all-data: no cache traffic
+
+	hit := reg.CounterValue(obs.CDecodeCacheHit)
+	miss := reg.CounterValue(obs.CDecodeCacheMiss)
+	if miss != 3 {
+		t.Errorf("decode_cache_miss = %d, want 3", miss)
+	}
+	if hit != 4 {
+		t.Errorf("decode_cache_hit = %d, want 4", hit)
+	}
+}
+
+// TestInvCacheEviction fills the LRU beyond capacity and checks the
+// oldest pattern is re-solved while a recently-used one is not.
+func TestInvCacheEviction(t *testing.T) {
+	var ic invCache
+	for i := 0; i < invCacheCap+5; i++ {
+		ic.put(fmt.Sprintf("p%03d", i), nil)
+	}
+	if n := len(ic.m); n != invCacheCap {
+		t.Fatalf("cache holds %d entries, cap is %d", n, invCacheCap)
+	}
+	if _, ok := ic.m["p000"]; ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, ok := ic.m[fmt.Sprintf("p%03d", invCacheCap+4)]; !ok {
+		t.Error("newest entry missing")
+	}
+}

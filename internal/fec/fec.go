@@ -17,8 +17,11 @@ package fec
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/gf256"
+	"repro/internal/obs"
 )
 
 // MaxShards is the maximum total number of packets (data + parity) in one
@@ -27,13 +30,21 @@ const MaxShards = 256
 
 // Coder encodes and decodes fixed-size packet blocks.
 // A Coder is safe for concurrent use by multiple goroutines after
-// construction: its state is read-only.
+// construction: the code tables are read-only and the decode-matrix
+// cache is internally locked.
 type Coder struct {
 	k int
 	// cauchyRow(i) over data index j is 1/(x_i ^ y_j) with
 	// x_i = k + i (parity index space) and y_j = j (data index space).
 	// Rows are materialised lazily up to maxParity at construction.
 	rows [][]byte
+	// cache holds solved decode matrices keyed by loss pattern; loss
+	// patterns repeat heavily across blocks of one rekey message (and
+	// across messages under stable loss), so the Gauss-Jordan inversion
+	// is usually paid once per pattern.
+	cache invCache
+	// reg receives decode-cache hit/miss counters; nil costs a nil check.
+	reg *obs.Registry
 }
 
 // NewCoder returns a Coder for blocks of k data packets able to produce
@@ -58,6 +69,13 @@ func NewCoder(k, maxParity int) (*Coder, error) {
 		c.rows[i] = row
 	}
 	return c, nil
+}
+
+// SetObs attaches a metrics registry (nil detaches). Returns the Coder
+// for chaining.
+func (c *Coder) SetObs(r *obs.Registry) *Coder {
+	c.reg = r
+	return c
 }
 
 // K returns the block size (number of data packets per block).
@@ -162,6 +180,280 @@ type Shard struct {
 // shards. Extra shards beyond k are ignored. It returns ErrShortBlock if
 // fewer than k distinct shard indices are present.
 func (c *Coder) Decode(shards []Shard) ([][]byte, error) {
+	out := make([][]byte, c.k)
+	if err := c.DecodeInto(out, shards); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// shardMask tracks which of the up-to-256 shard indices have been seen;
+// the per-call map the old decoder built for this dominated its small-
+// loss profile.
+type shardMask [MaxShards / 64]uint64
+
+func (m *shardMask) testAndSet(i int) bool {
+	w, b := i>>6, uint(i)&63
+	if m[w]&(1<<b) != 0 {
+		return true
+	}
+	m[w] |= 1 << b
+	return false
+}
+
+// DecodeInto is Decode writing the k reconstructed data packets into
+// out, which must have length k. Non-nil entries with sufficient
+// capacity are reused in place (a receiver draining many blocks can
+// recycle one buffer set); short or nil entries are allocated.
+//
+// Rather than inverting the full k x k decode matrix and re-deriving
+// every data packet, DecodeInto substitutes the data shards that
+// arrived and solves only for the missing ones: with m losses it
+// inverts an m x m system and does O(m*k) slice operations of plen
+// bytes, against the reference decoder's O(k^2). Solved coefficient
+// matrices are cached per loss pattern (see invCache).
+func (c *Coder) DecodeInto(out [][]byte, shards []Shard) error {
+	k := c.k
+	if len(out) != k {
+		return fmt.Errorf("fec: out has %d slots, coder expects k=%d", len(out), k)
+	}
+
+	// Partition the received shards by index: dataPos[j] locates the
+	// shard holding data packet j; parityPos collects distinct parity
+	// shards. Duplicate and out-of-range indices are ignored.
+	var seen shardMask
+	dataPos := make([]int, k)
+	for i := range dataPos {
+		dataPos[i] = -1
+	}
+	var parityPos []int
+	have := 0
+	for i, s := range shards {
+		switch {
+		case s.Index >= 0 && s.Index < k:
+			if !seen.testAndSet(s.Index) {
+				dataPos[s.Index] = i
+				have++
+			}
+		case s.Index >= k && s.Index < k+len(c.rows):
+			if !seen.testAndSet(s.Index) {
+				parityPos = append(parityPos, i)
+			}
+		}
+	}
+	missing := make([]int, 0, k-have)
+	for j, p := range dataPos {
+		if p < 0 {
+			missing = append(missing, j)
+		}
+	}
+	m := len(missing)
+	if m > len(parityPos) {
+		return ErrShortBlock
+	}
+	// Normalise the parity choice to the m lowest indices: the solved
+	// matrix depends only on (missing, parities used), so a canonical
+	// pick maximises cache hits; the reconstructed bytes are exact
+	// either way.
+	sort.Slice(parityPos, func(a, b int) bool {
+		return shards[parityPos[a]].Index < shards[parityPos[b]].Index
+	})
+	parityPos = parityPos[:m]
+
+	// Validate the lengths of every shard the decode will touch.
+	plen := -1
+	for _, p := range dataPos {
+		if p >= 0 {
+			plen = len(shards[p].Data)
+			break
+		}
+	}
+	if plen < 0 && m > 0 {
+		plen = len(shards[parityPos[0]].Data)
+	}
+	for j, p := range dataPos {
+		if p >= 0 && len(shards[p].Data) != plen {
+			return fmt.Errorf("fec: shard %d has length %d, want %d", j, len(shards[p].Data), plen)
+		}
+	}
+	for _, p := range parityPos {
+		if len(shards[p].Data) != plen {
+			return fmt.Errorf("fec: shard %d has length %d, want %d", shards[p].Index, len(shards[p].Data), plen)
+		}
+	}
+
+	// Received data packets are already the answer: copy them through.
+	for j, p := range dataPos {
+		if p >= 0 {
+			out[j] = append(ensure(out[j], plen)[:0], shards[p].Data...)
+		}
+	}
+	if m == 0 {
+		return nil
+	}
+
+	coef, err := c.solveCoef(missing, parityPos, shards, dataPos)
+	if err != nil {
+		return err
+	}
+
+	// Reconstruct each missing packet as a coefficient combination of
+	// the m parity payloads followed by the k-m received data payloads.
+	for ci, j := range missing {
+		d := ensure(out[j], plen)
+		clear(d)
+		row := coef.Row(ci)
+		for r, p := range parityPos {
+			gf256.MulAddSlice(d, shards[p].Data, row[r])
+		}
+		col := m
+		for _, p := range dataPos {
+			if p < 0 {
+				continue
+			}
+			if w := row[col]; w != 0 {
+				gf256.MulAddSlice(d, shards[p].Data, w)
+			}
+			col++
+		}
+		out[j] = d
+	}
+	return nil
+}
+
+// ensure returns buf resized to n bytes, reusing its storage when the
+// capacity suffices.
+func ensure(buf []byte, n int) []byte {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]byte, n)
+}
+
+// solveCoef returns the m x k coefficient matrix for the given loss
+// pattern: row ci reconstructs missing data packet missing[ci]; its
+// first m columns weight the chosen parity payloads (in parityPos
+// order) and the remaining k-m columns weight the received data
+// payloads (ascending data index). Patterns are cached.
+//
+// Derivation: each chosen parity p satisfies
+// y_p = sum_j rows[p][j]*x_j, so over the missing set M,
+// sum_{j in M} rows[p][j]*x_j = y_p + sum_{j received} rows[p][j]*x_j
+// (addition is XOR). With A the m x m submatrix rows[p][M], the
+// missing packets are x_M = A^-1*y + (A^-1*R_received)*x_received,
+// which is exactly the two column groups of the returned matrix.
+func (c *Coder) solveCoef(missing, parityPos []int, shards []Shard, dataPos []int) (*gf256.Matrix, error) {
+	k, m := c.k, len(missing)
+
+	// Cache key: count-prefixed missing data indices then parity
+	// indices, one byte each (all fit: indices < MaxShards).
+	kb := make([]byte, 0, 1+k)
+	kb = append(kb, byte(m))
+	for _, j := range missing {
+		kb = append(kb, byte(j))
+	}
+	for _, p := range parityPos {
+		kb = append(kb, byte(shards[p].Index))
+	}
+	key := string(kb)
+	if coef := c.cache.get(key); coef != nil {
+		c.reg.Inc(obs.CDecodeCacheHit)
+		return coef, nil
+	}
+	c.reg.Inc(obs.CDecodeCacheMiss)
+
+	a := gf256.NewMatrix(m, m)
+	for r, p := range parityPos {
+		row := c.rows[shards[p].Index-k]
+		for ci, j := range missing {
+			a.Set(r, ci, row[j])
+		}
+	}
+	inv, ok := a.Invert()
+	if !ok {
+		// Cannot happen for a Cauchy code with distinct indices; guard
+		// anyway so corrupted indices fail loudly rather than silently.
+		return nil, errors.New("fec: decode matrix singular")
+	}
+
+	coef := gf256.NewMatrix(m, k)
+	for ci := 0; ci < m; ci++ {
+		dst := coef.Row(ci)
+		src := inv.Row(ci)
+		copy(dst[:m], src)
+		col := m
+		for j, p := range dataPos {
+			if p >= 0 {
+				// (A^-1 * R_received)[ci][j]
+				var w byte
+				for r, pp := range parityPos {
+					w ^= gf256.Mul(src[r], c.rows[shards[pp].Index-k][j])
+				}
+				dst[col] = w
+				col++
+			}
+		}
+	}
+	c.cache.put(key, coef)
+	return coef, nil
+}
+
+// invCacheCap bounds the solved-pattern cache. Loss patterns under the
+// paper's independent-loss model concentrate on few-loss combinations;
+// 32 patterns cover the working set of a receiver at realistic loss
+// rates while bounding memory at ~32*k bytes per entry.
+const invCacheCap = 32
+
+// invCache is a small mutex-guarded LRU of solved coefficient
+// matrices keyed by loss pattern.
+type invCache struct {
+	mu    sync.Mutex
+	m     map[string]*gf256.Matrix
+	order []string // least recently used first
+}
+
+func (ic *invCache) get(key string) *gf256.Matrix {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	coef, ok := ic.m[key]
+	if !ok {
+		return nil
+	}
+	for i, k := range ic.order {
+		if k == key {
+			copy(ic.order[i:], ic.order[i+1:])
+			ic.order[len(ic.order)-1] = key
+			break
+		}
+	}
+	return coef
+}
+
+func (ic *invCache) put(key string, coef *gf256.Matrix) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if ic.m == nil {
+		ic.m = make(map[string]*gf256.Matrix, invCacheCap)
+	}
+	if _, ok := ic.m[key]; ok {
+		return // raced with another decoder; keep the incumbent
+	}
+	if len(ic.order) >= invCacheCap {
+		delete(ic.m, ic.order[0])
+		copy(ic.order, ic.order[1:])
+		ic.order = ic.order[:len(ic.order)-1]
+	}
+	ic.m[key] = coef
+	ic.order = append(ic.order, key)
+}
+
+// RefDecode is the retained full-inverse reference decoder: it picks k
+// shards (data first, in input order), builds the k x k decode matrix,
+// inverts it, and multiplies every row -- O(k^2) slice operations and
+// a fresh inversion per call. Differential tests and the decode
+// benchmarks compare DecodeInto against it; production callers use
+// Decode/DecodeInto.
+func (c *Coder) RefDecode(shards []Shard) ([][]byte, error) {
 	k := c.k
 	// Select k shards with distinct indices, preferring data shards
 	// (identity rows keep the decode matrix well-conditioned and cheap).

@@ -1,0 +1,147 @@
+package keys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestWrapContextMatchesWrap checks the cached-state context against the
+// one-shot Wrap for many key pairs, including re-keying one context.
+func TestWrapContextMatchesWrap(t *testing.T) {
+	g := NewDeterministicGenerator(100)
+	ctx := NewWrapContext(Key{})
+	for i := 0; i < 200; i++ {
+		outer, inner := g.MustNewKey(), g.MustNewKey()
+		ctx.SetKey(outer)
+		got := ctx.Wrap(inner)
+		want := Wrap(outer, inner)
+		if got != want {
+			t.Fatalf("iteration %d: WrapContext.Wrap != Wrap", i)
+		}
+		var into [WrappedSize]byte
+		ctx.WrapInto(&into, inner)
+		if into != want {
+			t.Fatalf("iteration %d: WrapInto != Wrap", i)
+		}
+	}
+}
+
+// TestWrapContextUnwrapRoundTrip checks context-based unwrapping against
+// both context and one-shot wrapping.
+func TestWrapContextUnwrapRoundTrip(t *testing.T) {
+	g := NewDeterministicGenerator(101)
+	for i := 0; i < 100; i++ {
+		outer, inner := g.MustNewKey(), g.MustNewKey()
+		ctx := NewUnwrapContext(outer)
+		got, err := ctx.Unwrap(Wrap(outer, inner))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != inner {
+			t.Fatal("context unwrap did not recover the inner key")
+		}
+		if _, err := ctx.Unwrap(NewWrapContext(g.MustNewKey()).Wrap(inner)); err != ErrBadTag {
+			t.Fatalf("unwrap under wrong key: err=%v, want ErrBadTag", err)
+		}
+	}
+}
+
+// TestWrapContextCorruptionDetected mirrors TestUnwrapCorruptionDetected
+// on the context path.
+func TestWrapContextCorruptionDetected(t *testing.T) {
+	g := NewDeterministicGenerator(102)
+	outer, inner := g.MustNewKey(), g.MustNewKey()
+	ctx := NewWrapContext(outer)
+	w := ctx.Wrap(inner)
+	for i := 0; i < WrappedSize; i++ {
+		c := w
+		c[i] ^= 0x01
+		if _, err := ctx.Unwrap(c); err != ErrBadTag {
+			t.Fatalf("corruption at byte %d undetected by context", i)
+		}
+	}
+}
+
+// TestQuickWrapContext cross-checks context wrap/unwrap against the
+// one-shot functions over random keys.
+func TestQuickWrapContext(t *testing.T) {
+	ctx := NewWrapContext(Key{})
+	f := func(outer, inner Key) bool {
+		ctx.SetKey(outer)
+		w := ctx.Wrap(inner)
+		if w != Wrap(outer, inner) {
+			return false
+		}
+		a, errA := ctx.Unwrap(w)
+		b, errB := Unwrap(outer, w)
+		return errA == nil && errB == nil && a == inner && b == inner
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNewKeysMatchesSequentialDraws is the batched-CSPRNG determinism
+// contract: NewKeys(n) must consume the stream exactly as n NewKey
+// calls do, so the parallel batch pipeline (bulk draws) emits the same
+// keys as the sequential reference (per-key draws).
+func TestNewKeysMatchesSequentialDraws(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 1000} {
+		a := NewDeterministicGenerator(7)
+		b := NewDeterministicGenerator(7)
+		bulk, err := a.NewKeys(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if k := b.MustNewKey(); k != bulk[i] {
+				t.Fatalf("n=%d: bulk key %d differs from sequential draw", n, i)
+			}
+		}
+		// The streams must stay aligned after the bulk draw too.
+		if a.MustNewKey() != b.MustNewKey() {
+			t.Fatalf("n=%d: stream positions diverged after bulk draw", n)
+		}
+	}
+}
+
+// TestNewKeysProduction exercises the AES-CTR DRBG path: distinct
+// non-zero keys across bulk draws and across the reseed boundary.
+func TestNewKeysProduction(t *testing.T) {
+	g := NewGenerator()
+	seen := make(map[Key]bool)
+	// 3*65536 keys would cross reseeds; keep it quick but cross one
+	// refill by drawing more than reseedEvery/KeySize keys in chunks.
+	total := reseedEvery/KeySize + 100
+	for total > 0 {
+		n := 4096
+		if n > total {
+			n = total
+		}
+		ks, err := g.NewKeys(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range ks {
+			if k.Zero() {
+				t.Fatal("generated the reserved all-zero key")
+			}
+			if seen[k] {
+				t.Fatal("duplicate key generated")
+			}
+			seen[k] = true
+		}
+		total -= n
+	}
+}
+
+// TestNewKeysZeroAndNegative covers the degenerate sizes.
+func TestNewKeysZeroAndNegative(t *testing.T) {
+	g := NewDeterministicGenerator(9)
+	for _, n := range []int{0, -3} {
+		ks, err := g.NewKeys(n)
+		if err != nil || ks != nil {
+			t.Fatalf("NewKeys(%d) = %v, %v; want nil, nil", n, ks, err)
+		}
+	}
+}

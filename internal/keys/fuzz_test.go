@@ -1,0 +1,47 @@
+package keys
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWrapContext drives the cached-state wrap/unwrap context against
+// the one-shot Wrap/Unwrap pair from fuzzer-chosen key material: the
+// wrapped bytes must be identical, both unwrap paths must agree, and a
+// flipped bit anywhere in the wrapped blob must yield ErrBadTag.
+func FuzzWrapContext(f *testing.F) {
+	f.Add([]byte("outer-seed-material"), []byte("inner-seed"), uint8(0))
+	f.Add([]byte{}, []byte{0xff}, uint8(7))
+	f.Add(bytes.Repeat([]byte{0x36}, 32), bytes.Repeat([]byte{0x5c}, 32), uint8(17))
+	f.Fuzz(func(t *testing.T, outerRaw, innerRaw []byte, flip uint8) {
+		var outer, inner Key
+		copy(outer[:], outerRaw)
+		copy(inner[:], innerRaw)
+
+		ctx := NewWrapContext(outer)
+		got := ctx.Wrap(inner)
+		want := Wrap(outer, inner)
+		if got != want {
+			t.Fatalf("WrapContext.Wrap = %x, Wrap = %x", got, want)
+		}
+
+		fromCtx, errCtx := ctx.Unwrap(got)
+		fromRef, errRef := Unwrap(outer, got)
+		if errCtx != nil || errRef != nil {
+			t.Fatalf("round-trip errors: ctx=%v ref=%v", errCtx, errRef)
+		}
+		if fromCtx != inner || fromRef != inner {
+			t.Fatal("round trip did not recover the inner key")
+		}
+
+		// Corrupt one bit; both unwrap paths must reject it.
+		c := got
+		c[int(flip)%WrappedSize] ^= 1 << (flip % 8)
+		if _, err := ctx.Unwrap(c); err != ErrBadTag {
+			t.Fatalf("context accepted corrupted wrap: %v", err)
+		}
+		if _, err := Unwrap(outer, c); err != ErrBadTag {
+			t.Fatalf("reference accepted corrupted wrap: %v", err)
+		}
+	})
+}

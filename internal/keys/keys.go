@@ -14,6 +14,7 @@ package keys
 import (
 	"crypto"
 	"crypto/aes"
+	"crypto/cipher"
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/rsa"
@@ -21,6 +22,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 )
 
@@ -50,13 +52,70 @@ func (k Key) String() string {
 }
 
 // Generator produces fresh keys. The zero value is not usable; use
-// NewGenerator or NewDeterministicGenerator.
+// NewGenerator or NewDeterministicGenerator. A Generator is not safe
+// for concurrent use; the key server serialises batches around it.
 type Generator struct {
 	r io.Reader
 }
 
-// NewGenerator returns a Generator backed by crypto/rand.
-func NewGenerator() *Generator { return &Generator{r: rand.Reader} }
+// NewGenerator returns a Generator backed by an AES-CTR DRBG that is
+// seeded (and periodically reseeded) from crypto/rand. Batch rekeying
+// draws O(L*log N) keys per interval; pulling each 16-byte key from
+// crypto/rand individually prices every draw at a system call, while
+// the DRBG amortises the entropy read over a megabyte of output.
+func NewGenerator() *Generator { return &Generator{r: &ctrDRBG{}} }
+
+// ctrDRBG is a deterministic random bit generator: an AES-128-CTR
+// keystream whose key and IV come from crypto/rand, reseeded after
+// reseedEvery bytes of output so no single keystream runs long. Read
+// never fails once a seed has been obtained; seeding errors surface
+// through NewKey's error return.
+type ctrDRBG struct {
+	stream    cipher.Stream
+	remaining int
+}
+
+// reseedEvery is how much DRBG output one (key, IV) seed may produce
+// before a fresh seed is drawn: 1 MiB, or 65536 keys.
+const reseedEvery = 1 << 20
+
+func (d *ctrDRBG) reseed() error {
+	var seed [aes.BlockSize + KeySize]byte
+	if _, err := io.ReadFull(rand.Reader, seed[:]); err != nil {
+		return fmt.Errorf("keys: reseeding DRBG: %w", err)
+	}
+	block, err := aes.NewCipher(seed[:KeySize])
+	if err != nil {
+		return err
+	}
+	d.stream = cipher.NewCTR(block, seed[KeySize:])
+	d.remaining = reseedEvery
+	return nil
+}
+
+func (d *ctrDRBG) Read(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 {
+		if d.remaining == 0 {
+			if err := d.reseed(); err != nil {
+				return total - len(p), err
+			}
+		}
+		n := len(p)
+		if n > d.remaining {
+			n = d.remaining
+		}
+		// CTR keystream: XOR into zeroed output.
+		chunk := p[:n]
+		for i := range chunk {
+			chunk[i] = 0
+		}
+		d.stream.XORKeyStream(chunk, chunk)
+		d.remaining -= n
+		p = p[n:]
+	}
+	return total, nil
+}
 
 // NewDeterministicGenerator returns a Generator whose output is a
 // reproducible function of seed. Experiments and tests use it so runs
@@ -73,15 +132,27 @@ type detReader struct {
 	n     int
 }
 
+func (d *detReader) next() uint64 {
+	d.state += 0x9e3779b97f4a7c15
+	z := d.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 func (d *detReader) Read(p []byte) (int, error) {
-	for i := range p {
+	i := 0
+	// Bulk path for word-aligned stream positions: NewKeys draws
+	// megabytes through here, and the byte stream must stay identical
+	// to the byte-at-a-time path below.
+	if d.n == 0 {
+		for ; i+8 <= len(p); i += 8 {
+			binary.LittleEndian.PutUint64(p[i:], d.next())
+		}
+	}
+	for ; i < len(p); i++ {
 		if d.n == 0 {
-			d.state += 0x9e3779b97f4a7c15
-			z := d.state
-			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-			z ^= z >> 31
-			binary.LittleEndian.PutUint64(d.buf[:], z)
+			binary.LittleEndian.PutUint64(d.buf[:], d.next())
 			d.n = 8
 		}
 		p[i] = d.buf[8-d.n]
@@ -112,6 +183,29 @@ func (g *Generator) MustNewKey() Key {
 	return k
 }
 
+// NewKeys returns n fresh keys drawn in one bulk read from the
+// underlying stream. The keys are exactly the ones n successive NewKey
+// calls would return (batch rekeying relies on this to stay
+// byte-identical to the sequential reference path), but the stream is
+// consumed in a single ReadFull instead of n small reads.
+func (g *Generator) NewKeys(n int) ([]Key, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	buf := make([]byte, n*KeySize)
+	if _, err := io.ReadFull(g.r, buf); err != nil {
+		return nil, fmt.Errorf("keys: generating %d keys: %w", n, err)
+	}
+	out := make([]Key, n)
+	for i := range out {
+		copy(out[i][:], buf[i*KeySize:])
+		if out[i].Zero() {
+			out[i][0] = 1 // the all-zero key is reserved
+		}
+	}
+	return out, nil
+}
+
 // ErrBadTag is returned by Unwrap when the integrity tag does not match,
 // i.e. the wrapping key is wrong or the ciphertext was corrupted.
 var ErrBadTag = errors.New("keys: wrapped key integrity tag mismatch")
@@ -134,9 +228,10 @@ func Wrap(outer, inner Key) [WrappedSize]byte {
 // Unwrap decrypts a wrapped key with the key outer, verifying the
 // integrity tag first. A tag mismatch yields ErrBadTag.
 func Unwrap(outer Key, wrapped [WrappedSize]byte) (Key, error) {
+	var sum [sha256.Size]byte
 	mac := hmac.New(sha256.New, outer[:])
 	mac.Write(wrapped[:KeySize])
-	if !hmac.Equal(mac.Sum(nil)[:TagSize], wrapped[KeySize:]) {
+	if !hmac.Equal(mac.Sum(sum[:0])[:TagSize], wrapped[KeySize:]) {
 		return Key{}, ErrBadTag
 	}
 	block, err := aes.NewCipher(outer[:])
@@ -147,6 +242,99 @@ func Unwrap(outer Key, wrapped [WrappedSize]byte) (Key, error) {
 	block.Decrypt(k[:], wrapped[:KeySize])
 	return k, nil
 }
+
+// hmacBlockSize is SHA-256's block length, the pad width of HMAC.
+const hmacBlockSize = 64
+
+// WrapContext performs the same {k'}_k operation as Wrap and Unwrap,
+// but holds the per-outer-key state -- the AES cipher.Block and the
+// HMAC-SHA256 pads plus one reusable SHA-256 digest -- so that a hot
+// loop wrapping or unwrapping many keys reuses one context instead of
+// rebuilding cipher and MAC objects per call. SetKey re-keys the
+// context in place; WrapInto writes into a caller-supplied buffer. The
+// bytes produced are exactly Wrap's. A context is not safe for
+// concurrent use; the batch pipeline keeps one per worker.
+type WrapContext struct {
+	block      cipher.Block
+	digest     hash.Hash // one SHA-256, reused for inner and outer pass
+	ipad, opad [hmacBlockSize]byte
+	sum        [sha256.Size]byte
+}
+
+// NewWrapContext returns a context keyed for outer.
+func NewWrapContext(outer Key) *WrapContext {
+	w := &WrapContext{digest: sha256.New()}
+	w.SetKey(outer)
+	return w
+}
+
+// SetKey re-keys the context for a new outer key, reusing the digest
+// and pad storage (the only allocation is the AES key schedule).
+func (w *WrapContext) SetKey(outer Key) {
+	block, err := aes.NewCipher(outer[:])
+	if err != nil {
+		panic(err) // KeySize is a valid AES-128 key length
+	}
+	w.block = block
+	for i := range w.ipad {
+		w.ipad[i], w.opad[i] = 0x36, 0x5c
+	}
+	for i, b := range outer {
+		w.ipad[i] ^= b
+		w.opad[i] ^= b
+	}
+}
+
+// tag computes the truncated HMAC-SHA256 tag over ct into w.sum[:TagSize].
+// HMAC(K, m) = H(opad || H(ipad || m)); the key is shorter than the
+// block size, so the pads are the zero-padded key XOR constants.
+func (w *WrapContext) tag(ct []byte) {
+	d := w.digest
+	d.Reset()
+	d.Write(w.ipad[:])
+	d.Write(ct)
+	inner := d.Sum(w.sum[:0])
+	d.Reset()
+	d.Write(w.opad[:])
+	d.Write(inner)
+	d.Sum(w.sum[:0])
+}
+
+// WrapInto encrypts inner under the context's key into out,
+// allocation-free. The bytes are identical to Wrap's.
+func (w *WrapContext) WrapInto(out *[WrappedSize]byte, inner Key) {
+	w.block.Encrypt(out[:KeySize], inner[:])
+	w.tag(out[:KeySize])
+	copy(out[KeySize:], w.sum[:TagSize])
+}
+
+// Wrap is WrapInto returning the wrapped key by value.
+func (w *WrapContext) Wrap(inner Key) [WrappedSize]byte {
+	var out [WrappedSize]byte
+	w.WrapInto(&out, inner)
+	return out
+}
+
+// Unwrap decrypts a wrapped key with the context's key, verifying the
+// truncated tag first. A tag mismatch yields ErrBadTag. Results are
+// identical to the package-level Unwrap.
+func (w *WrapContext) Unwrap(wrapped [WrappedSize]byte) (Key, error) {
+	w.tag(wrapped[:KeySize])
+	if !hmac.Equal(w.sum[:TagSize], wrapped[KeySize:]) {
+		return Key{}, ErrBadTag
+	}
+	var k Key
+	w.block.Decrypt(k[:], wrapped[:KeySize])
+	return k, nil
+}
+
+// UnwrapContext is the member-side name for the same cached-cipher
+// context: the ingest path re-keys one context per path edge instead
+// of building a fresh HMAC and cipher per unwrap.
+type UnwrapContext = WrapContext
+
+// NewUnwrapContext returns a context keyed for outer.
+func NewUnwrapContext(outer Key) *UnwrapContext { return NewWrapContext(outer) }
 
 // Signer signs rekey messages. Signing is the expensive per-message
 // operation whose amortisation motivates periodic batch rekeying; the

@@ -1,0 +1,33 @@
+package keytree
+
+// bitset is a growable bit vector indexed by node ID. The marking
+// algorithm previously tracked join/replace/vacated positions in
+// map[int]bool sets; at batch sizes of 10^5-10^6 the map inserts and
+// hashed lookups dominated the bookkeeping, while a bitset costs one
+// word op per mark and is read millions of times during relabelling.
+type bitset struct {
+	w []uint64
+}
+
+// set marks bit i, growing the backing storage as needed.
+func (b *bitset) set(i int) {
+	word := i >> 6
+	for word >= len(b.w) {
+		b.w = append(b.w, 0)
+	}
+	b.w[word] |= 1 << (uint(i) & 63)
+}
+
+// clear unmarks bit i (a no-op beyond the allocated words).
+func (b *bitset) clear(i int) {
+	if word := i >> 6; word < len(b.w) {
+		b.w[word] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// get reports whether bit i is marked; bits beyond the allocated words
+// are unmarked.
+func (b *bitset) get(i int) bool {
+	word := i >> 6
+	return word < len(b.w) && b.w[word]&(1<<(uint(i)&63)) != 0
+}

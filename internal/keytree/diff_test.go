@@ -1,0 +1,183 @@
+package keytree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// diffPair drives two trees -- one through the parallel ProcessBatch,
+// one through the sequential reference ProcessBatchSeq -- with
+// deterministic generators built from the same seed. The trees must be
+// built independently (not Cloned): a Clone shares one generator, and
+// interleaved draws from two consumers would diverge the streams.
+type diffPair struct {
+	par, seq *Tree
+}
+
+func newDiffPair(d int, seed uint64, workers int) *diffPair {
+	return &diffPair{
+		par: New(d, keys.NewDeterministicGenerator(seed)).SetWorkers(workers),
+		seq: New(d, keys.NewDeterministicGenerator(seed)),
+	}
+}
+
+// step applies the same batch to both trees and fails unless every
+// observable output -- encryptions (IDs and ciphertext bytes), MaxKID,
+// group key, user IDs, update counts -- is identical.
+func (p *diffPair) step(t *testing.T, joins, leaves []Member) {
+	t.Helper()
+	rp, errP := p.par.ProcessBatch(joins, leaves)
+	rs, errS := p.seq.ProcessBatchSeq(joins, leaves)
+	if (errP == nil) != (errS == nil) {
+		t.Fatalf("error mismatch: parallel=%v sequential=%v", errP, errS)
+	}
+	if errP != nil {
+		if errP.Error() != errS.Error() {
+			t.Fatalf("error text mismatch: parallel=%q sequential=%q", errP, errS)
+		}
+		return
+	}
+	if err := p.par.CheckInvariant(); err != nil {
+		t.Fatalf("parallel tree invariant: %v", err)
+	}
+	if err := p.seq.CheckInvariant(); err != nil {
+		t.Fatalf("sequential tree invariant: %v", err)
+	}
+	if rp.MaxKID != rs.MaxKID || rp.GroupKey != rs.GroupKey {
+		t.Fatalf("MaxKID/GroupKey mismatch: (%d, %x) vs (%d, %x)",
+			rp.MaxKID, rp.GroupKey, rs.MaxKID, rs.GroupKey)
+	}
+	if rp.Joined != rs.Joined || rp.Left != rs.Left || rp.UpdatedKNodes != rs.UpdatedKNodes {
+		t.Fatalf("count mismatch: J=%d/%d L=%d/%d updated=%d/%d",
+			rp.Joined, rs.Joined, rp.Left, rs.Left, rp.UpdatedKNodes, rs.UpdatedKNodes)
+	}
+	if len(rp.UserIDs) != len(rs.UserIDs) {
+		t.Fatalf("UserIDs length %d vs %d", len(rp.UserIDs), len(rs.UserIDs))
+	}
+	for i := range rp.UserIDs {
+		if rp.UserIDs[i] != rs.UserIDs[i] {
+			t.Fatalf("UserIDs[%d] = %d vs %d", i, rp.UserIDs[i], rs.UserIDs[i])
+		}
+	}
+	if len(rp.Encryptions) != len(rs.Encryptions) {
+		t.Fatalf("encryption count %d vs %d", len(rp.Encryptions), len(rs.Encryptions))
+	}
+	for i := range rp.Encryptions {
+		ep, es := rp.Encryptions[i], rs.Encryptions[i]
+		if ep.ID != es.ID {
+			t.Fatalf("Encryptions[%d].ID = %d vs %d", i, ep.ID, es.ID)
+		}
+		if !bytes.Equal(ep.Wrapped[:], es.Wrapped[:]) {
+			t.Fatalf("Encryptions[%d] (ID %d) ciphertext differs:\n  par %x\n  seq %x",
+				i, ep.ID, ep.Wrapped, es.Wrapped)
+		}
+	}
+	// The segment index must agree with a linear scan on both results.
+	for _, r := range []*BatchResult{rp, rs} {
+		for i, e := range r.Encryptions {
+			j, ok := r.lookup(int(e.ID))
+			if !ok || j != i {
+				t.Fatalf("lookup(%d) = (%d, %v), want (%d, true)", e.ID, j, ok, i)
+			}
+		}
+		if _, ok := r.lookup(-1); ok {
+			t.Fatal("lookup(-1) found an encryption")
+		}
+	}
+}
+
+// TestProcessBatchMatchesSeqRandomSchedules runs randomized join/leave
+// schedules through both pipelines and requires byte-identical results
+// at every batch, across degrees and worker counts.
+func TestProcessBatchMatchesSeqRandomSchedules(t *testing.T) {
+	for _, tc := range []struct {
+		d, workers int
+		seed       uint64
+	}{
+		{2, 0, 101},
+		{3, 2, 102},
+		{4, 0, 103},
+		{4, 3, 104},
+		{5, 8, 105},
+	} {
+		t.Run(fmt.Sprintf("d=%d,workers=%d", tc.d, tc.workers), func(t *testing.T) {
+			p := newDiffPair(tc.d, tc.seed, tc.workers)
+			rng := rand.New(rand.NewPCG(tc.seed, 77))
+			next := Member(0)
+			var present []Member
+
+			for batch := 0; batch < 25; batch++ {
+				nJoin := rng.IntN(40)
+				nLeave := 0
+				if len(present) > 0 {
+					nLeave = rng.IntN(len(present) + 1)
+				}
+				joins := make([]Member, nJoin)
+				for i := range joins {
+					joins[i] = next
+					next++
+				}
+				rng.Shuffle(len(present), func(i, j int) {
+					present[i], present[j] = present[j], present[i]
+				})
+				leaves := append([]Member(nil), present[:nLeave]...)
+				p.step(t, joins, leaves)
+				present = append(present[nLeave:], joins...)
+			}
+		})
+	}
+}
+
+// TestProcessBatchMatchesSeqEdgeCases pins the shapes the random walk
+// may miss: empty batches, total departure, single-member churn, and
+// the J<L prune cascade from a full tree.
+func TestProcessBatchMatchesSeqEdgeCases(t *testing.T) {
+	p := newDiffPair(4, 42, 0)
+
+	// Empty batch on an empty tree.
+	p.step(t, nil, nil)
+
+	// First population.
+	joins := make([]Member, 64)
+	for i := range joins {
+		joins[i] = Member(i)
+	}
+	p.step(t, joins, nil)
+
+	// Empty batch on a populated tree.
+	p.step(t, nil, nil)
+
+	// J == L replacement of a prefix.
+	p.step(t, []Member{100, 101, 102}, []Member{0, 1, 2})
+
+	// J < L prune cascade: remove three quarters.
+	var leaves []Member
+	for i := 3; i < 48; i++ {
+		leaves = append(leaves, Member(i))
+	}
+	p.step(t, []Member{200}, leaves)
+
+	// Total departure.
+	var all []Member
+	for m := range p.seq.loc {
+		all = append(all, m)
+	}
+	// step shuffles nothing itself; order only affects error paths, and
+	// both trees receive the identical slice.
+	p.step(t, nil, all)
+
+	// Regrow from empty, one member at a time.
+	for i := 0; i < 5; i++ {
+		p.step(t, []Member{Member(300 + i)}, nil)
+	}
+
+	// Error paths must agree too.
+	p.step(t, []Member{300}, nil)      // already present
+	p.step(t, nil, []Member{999})      // unknown leave
+	p.step(t, []Member{400, 400}, nil) // duplicate join
+	p.step(t, nil, []Member{301, 301}) // duplicate leave
+}

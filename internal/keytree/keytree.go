@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/keys"
+	"repro/internal/obs"
 )
 
 // NodeKind distinguishes the three node types of the expanded key tree.
@@ -87,24 +89,51 @@ type node struct {
 }
 
 // Tree is the key server's key tree. It is not safe for concurrent
-// mutation; the key server serialises batches.
+// mutation; the key server serialises batches. ProcessBatch fans the
+// wrap-emission phase out across a worker pool internally, but the
+// caller still sees one synchronous call.
 type Tree struct {
 	d      int
 	height int // depth of the deepest level; root is level 0
 	nodes  []node
 	loc    map[Member]int // member -> u-node ID
-	gen    *keys.Generator
+	// uids is the sorted list of current u-node IDs, maintained
+	// incrementally across batches (the Lemma 4.1 invariant keeps
+	// membership changes clustered, so a merge of the per-batch
+	// removals/additions replaces the old per-batch full sort).
+	uids []int
+	gen  *keys.Generator
 	// lite skips ciphertext materialisation in ProcessBatch: encryption
 	// IDs and counts are exact but Wrapped stays zero. Transport
 	// experiments that only need packet bookkeeping use it to avoid
 	// paying for AES on hundreds of simulated rekey messages.
 	lite bool
+	// workers bounds the goroutines of the parallel wrap-emission phase;
+	// <= 0 means GOMAXPROCS (resolved via internal/tuning).
+	workers int
+	// reg receives pipeline metrics (keys generated, wraps, wrap ns);
+	// nil costs only a nil check.
+	reg *obs.Registry
 }
 
 // SetLite toggles lite mode (see the lite field). Returns the tree for
 // chaining.
 func (t *Tree) SetLite(lite bool) *Tree {
 	t.lite = lite
+	return t
+}
+
+// SetWorkers bounds the worker pool of the parallel batch pipeline;
+// n <= 0 means GOMAXPROCS. Returns the tree for chaining.
+func (t *Tree) SetWorkers(n int) *Tree {
+	t.workers = n
+	return t
+}
+
+// SetObs attaches a metrics registry (nil detaches). Returns the tree
+// for chaining.
+func (t *Tree) SetObs(r *obs.Registry) *Tree {
+	t.reg = r
 	return t
 }
 
@@ -250,7 +279,8 @@ func (t *Tree) growTo(id int) {
 }
 
 // CheckInvariant verifies Lemma 4.1 (every k-node ID below every u-node
-// ID) plus structural sanity; tests call it after every mutation.
+// ID), the incrementally-maintained user-ID slice, plus structural
+// sanity; tests call it after every mutation.
 func (t *Tree) CheckInvariant() error {
 	maxK, minU := -1, math.MaxInt
 	users := 0
@@ -306,15 +336,28 @@ func (t *Tree) CheckInvariant() error {
 	if maxK >= 0 && minU < math.MaxInt && maxK >= minU {
 		return fmt.Errorf("keytree: Lemma 4.1 violated: maxKID=%d >= minUID=%d", maxK, minU)
 	}
+	if len(t.uids) != len(t.loc) {
+		return fmt.Errorf("keytree: uids has %d entries but loc has %d", len(t.uids), len(t.loc))
+	}
+	for i, id := range t.uids {
+		if i > 0 && t.uids[i-1] >= id {
+			return fmt.Errorf("keytree: uids not strictly sorted at %d", i)
+		}
+		if id >= len(t.nodes) || t.nodes[id].kind != UNode {
+			return fmt.Errorf("keytree: uids entry %d is not a u-node", id)
+		}
+	}
 	return nil
 }
 
-// Clone returns a deep copy of the tree sharing the key generator.
-// The experiment harness clones a populated tree so that many trials can
-// apply independent batches to identical starting states.
+// Clone returns a deep copy of the tree sharing the key generator and
+// metrics registry. The experiment harness clones a populated tree so
+// that many trials can apply independent batches to identical starting
+// states.
 func (t *Tree) Clone() *Tree {
-	n := &Tree{d: t.d, height: t.height, gen: t.gen, lite: t.lite}
+	n := &Tree{d: t.d, height: t.height, gen: t.gen, lite: t.lite, workers: t.workers, reg: t.reg}
 	n.nodes = append([]node(nil), t.nodes...)
+	n.uids = append([]int(nil), t.uids...)
 	n.loc = make(map[Member]int, len(t.loc))
 	for m, id := range t.loc {
 		n.loc[m] = id
@@ -330,14 +373,26 @@ type Encryption struct {
 	Wrapped [keys.WrappedSize]byte
 }
 
+// levelSeg locates one tree level's slice of the Encryptions array:
+// node IDs in [lo, hi) occupy Encryptions[start:next.start] with IDs
+// ascending. Encryptions are emitted deepest level first, so the
+// segments replace the old per-encryption hash index with a handful of
+// range records plus binary search -- nothing per-encryption to build,
+// which matters when a million-member batch emits ~10^6 entries.
+type levelSeg struct {
+	lo, hi int // node-ID bounds of the level, [lo, hi)
+	start  int // offset of the level's first encryption
+}
+
 // BatchResult is the outcome of one ProcessBatch: the workload handed to
 // the rekey transport protocol, plus bookkeeping for users and tests.
 type BatchResult struct {
 	// Encryptions in bottom-up (deepest level first, left-to-right)
 	// generation order.
 	Encryptions []Encryption
-	// index maps encryption ID to position in Encryptions.
-	index map[uint32]int
+	// levels are the per-tree-level segments of Encryptions, deepest
+	// level first (the generation order).
+	levels []levelSeg
 	// MaxKID after the batch; carried in every ENC packet.
 	MaxKID int
 	// GroupKey after the batch.
@@ -351,9 +406,34 @@ type BatchResult struct {
 	d int
 }
 
+// lookup returns the position in Encryptions of the encryption whose
+// encrypting-key node is id: find the level segment covering the ID,
+// then binary-search the segment (IDs ascend within a level).
+func (r *BatchResult) lookup(id int) (int, bool) {
+	if id < 0 {
+		return 0, false
+	}
+	for li, seg := range r.levels {
+		if id < seg.lo || id >= seg.hi {
+			continue
+		}
+		end := len(r.Encryptions)
+		if li+1 < len(r.levels) {
+			end = r.levels[li+1].start
+		}
+		encs := r.Encryptions[seg.start:end]
+		i := sort.Search(len(encs), func(j int) bool { return encs[j].ID >= uint32(id) })
+		if i < len(encs) && encs[i].ID == uint32(id) {
+			return seg.start + i, true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
 // Encryption returns the encryption whose encrypting-key node is id.
 func (r *BatchResult) Encryption(id int) (Encryption, bool) {
-	i, ok := r.index[uint32(id)]
+	i, ok := r.lookup(id)
 	if !ok {
 		return Encryption{}, false
 	}
@@ -379,7 +459,7 @@ func (r *BatchResult) UserNeeds(userID int) []Encryption {
 func (r *BatchResult) UserNeedIDs(userID int) []uint32 {
 	var out []uint32
 	for id := userID; id >= 0; id = ParentID(r.d, id) {
-		if _, ok := r.index[uint32(id)]; ok {
+		if _, ok := r.lookup(id); ok {
 			out = append(out, uint32(id))
 		}
 	}
@@ -390,7 +470,24 @@ func (r *BatchResult) UserNeedIDs(userID int) []uint32 {
 // the L members in leaves depart and the J members in joins arrive.
 // It returns the generated rekey workload. A batch with no membership
 // change returns an empty BatchResult (no rekeying needed).
+//
+// ProcessBatch is the parallel pipeline: updated k-node keys are drawn
+// in one bulk CSPRNG read and the wrap emission fans out across a
+// worker pool (SetWorkers). Its output is byte-identical to
+// ProcessBatchSeq given the same starting tree and generator state.
 func (t *Tree) ProcessBatch(joins, leaves []Member) (*BatchResult, error) {
+	return t.processBatch(joins, leaves, false)
+}
+
+// ProcessBatchSeq is the retained sequential reference implementation:
+// per-node key draws and a single-threaded append-based wrap emission.
+// Differential tests and the CI benchmark guard compare ProcessBatch
+// against it; production callers use ProcessBatch.
+func (t *Tree) ProcessBatchSeq(joins, leaves []Member) (*BatchResult, error) {
+	return t.processBatch(joins, leaves, true)
+}
+
+func (t *Tree) processBatch(joins, leaves []Member, seq bool) (*BatchResult, error) {
 	for _, m := range leaves {
 		if _, ok := t.loc[m]; !ok {
 			return nil, fmt.Errorf("keytree: leave request for unknown member %d", m)
@@ -415,7 +512,7 @@ func (t *Tree) ProcessBatch(joins, leaves []Member) (*BatchResult, error) {
 	}
 
 	if len(joins) == 0 && len(leaves) == 0 {
-		return &BatchResult{index: map[uint32]int{}, MaxKID: t.MaxKID(), GroupKey: t.GroupKey(), UserIDs: t.userIDs(), d: t.d}, nil
+		return &BatchResult{MaxKID: t.MaxKID(), GroupKey: t.GroupKey(), UserIDs: t.userIDs(), d: t.d}, nil
 	}
 
 	// Reset labels.
@@ -427,18 +524,76 @@ func (t *Tree) ProcessBatch(joins, leaves []Member) (*BatchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := t.relabelAndRekey(joinPos, replacePos, vacatedPos)
-	res.Joined, res.Left = len(joins), len(leaves)
+	t.relabel(joinPos, replacePos, vacatedPos)
+	updated := t.rekeyKNodes(seq)
+
+	res := &BatchResult{
+		MaxKID:        t.MaxKID(),
+		GroupKey:      t.GroupKey(),
+		UserIDs:       t.userIDs(),
+		UpdatedKNodes: updated,
+		Joined:        len(joins),
+		Left:          len(leaves),
+		d:             t.d,
+	}
+	var emitStart time.Time
+	if t.reg.Enabled() {
+		emitStart = time.Now()
+	}
+	if seq {
+		t.emitSeq(res)
+	} else {
+		t.emitParallel(res)
+	}
+	if t.reg.Enabled() {
+		t.reg.Add(obs.CKeysGenerated, int64(len(joins)+updated))
+		if !t.lite {
+			t.reg.Add(obs.CWraps, int64(len(res.Encryptions)))
+		}
+		t.reg.Add(obs.CWrapNs, time.Since(emitStart).Nanoseconds())
+	}
 	return res, nil
 }
 
+// userIDs returns a copy of the maintained sorted user-ID slice.
 func (t *Tree) userIDs() []int {
-	ids := make([]int, 0, len(t.loc))
-	for _, id := range t.loc {
-		ids = append(ids, id)
+	return append([]int(nil), t.uids...)
+}
+
+// commitUserIDs folds one batch's u-node removals and additions into
+// the maintained sorted slice: one merge pass over the old slice
+// instead of the old rebuild-and-sort over the loc map. An ID may
+// appear in both lists (a departed position refilled the same
+// interval); removal is applied first, so it survives.
+func (t *Tree) commitUserIDs(removed, added []int) {
+	sort.Ints(removed)
+	sort.Ints(added)
+	out := make([]int, 0, len(t.uids)-len(removed)+len(added))
+	ri := 0
+	ai := 0
+	push := func(id int) {
+		// Merge in pending additions below id.
+		for ai < len(added) && added[ai] < id {
+			out = append(out, added[ai])
+			ai++
+		}
+		out = append(out, id)
 	}
-	sort.Ints(ids)
-	return ids
+	for _, id := range t.uids {
+		for ri < len(removed) && removed[ri] < id {
+			ri++
+		}
+		if ri < len(removed) && removed[ri] == id {
+			ri++
+			continue
+		}
+		push(id)
+	}
+	for ai < len(added) {
+		out = append(out, added[ai])
+		ai++
+	}
+	t.uids = out
 }
 
 // applyMembership performs the tree-update phase of the marking
@@ -450,10 +605,28 @@ func (t *Tree) userIDs() []int {
 // count as Leave during relabelling: n-node holes inherited from
 // earlier intervals are not membership changes and must not force key
 // updates on their ancestors.
-func (t *Tree) applyMembership(joins, leaves []Member) (joinPos, replacePos, vacatedPos map[int]bool, err error) {
-	joinPos = make(map[int]bool)
-	replacePos = make(map[int]bool)
-	vacatedPos = make(map[int]bool)
+func (t *Tree) applyMembership(joins, leaves []Member) (joinPos, replacePos, vacatedPos *bitset, err error) {
+	joinPos, replacePos, vacatedPos = &bitset{}, &bitset{}, &bitset{}
+
+	// User-ID delta events with final-state cancellation: an ID vacated
+	// and refilled within one batch nets out to no uids change, and an
+	// ID placed then moved away by a split never enters uids at all.
+	removedSet := make(map[int]bool, len(leaves))
+	addedSet := make(map[int]bool, len(joins))
+	uidRemove := func(id int) {
+		if addedSet[id] {
+			delete(addedSet, id)
+		} else {
+			removedSet[id] = true
+		}
+	}
+	uidAdd := func(id int) {
+		if removedSet[id] {
+			delete(removedSet, id)
+		} else {
+			addedSet[id] = true
+		}
+	}
 
 	departed := make([]int, 0, len(leaves))
 	for _, m := range leaves {
@@ -461,7 +634,8 @@ func (t *Tree) applyMembership(joins, leaves []Member) (joinPos, replacePos, vac
 		departed = append(departed, id)
 		delete(t.loc, m)
 		t.nodes[id] = node{kind: NNode}
-		vacatedPos[id] = true
+		vacatedPos.set(id)
+		uidRemove(id)
 	}
 	sort.Ints(departed)
 
@@ -469,12 +643,17 @@ func (t *Tree) applyMembership(joins, leaves []Member) (joinPos, replacePos, vac
 	place := func(id int, m Member, replaced bool) {
 		t.nodes[id] = node{kind: UNode, member: m, key: t.gen.MustNewKey()}
 		t.loc[m] = id
-		delete(vacatedPos, id)
+		vacatedPos.clear(id)
+		uidAdd(id)
 		if replaced {
-			replacePos[id] = true
+			replacePos.set(id)
 		} else {
-			joinPos[id] = true
+			joinPos.set(id)
 		}
+	}
+	moved := func(from, to int) {
+		uidRemove(from)
+		uidAdd(to)
 	}
 
 	switch {
@@ -496,12 +675,22 @@ func (t *Tree) applyMembership(joins, leaves []Member) (joinPos, replacePos, vac
 			place(departed[i], joins[i], true)
 		}
 		extra := joins[L:]
-		t.placeExtraJoins(extra, place)
+		t.placeExtraJoins(extra, place, moved)
 	}
 
 	// Step 4: any n-node with a descendant u-node becomes a k-node.
 	// (Arises when a join fills a position under a pruned subtree.)
 	t.promoteNNodes()
+
+	removed := make([]int, 0, len(removedSet))
+	for id := range removedSet {
+		removed = append(removed, id)
+	}
+	added := make([]int, 0, len(addedSet))
+	for id := range addedSet {
+		added = append(added, id)
+	}
+	t.commitUserIDs(removed, added)
 
 	return joinPos, replacePos, vacatedPos, nil
 }
@@ -509,7 +698,7 @@ func (t *Tree) applyMembership(joins, leaves []Member) (joinPos, replacePos, vac
 // pruneEmptyKNodes converts k-nodes whose children are all n-nodes into
 // n-nodes, iterating bottom-up until stable, recording the vacated
 // positions.
-func (t *Tree) pruneEmptyKNodes(vacatedPos map[int]bool) {
+func (t *Tree) pruneEmptyKNodes(vacatedPos *bitset) {
 	for id := len(t.nodes) - 1; id >= 0; id-- {
 		if t.nodes[id].kind != KNode {
 			continue
@@ -524,7 +713,7 @@ func (t *Tree) pruneEmptyKNodes(vacatedPos map[int]bool) {
 		}
 		if allN {
 			t.nodes[id] = node{kind: NNode}
-			vacatedPos[id] = true
+			vacatedPos.set(id)
 		}
 	}
 }
@@ -554,7 +743,7 @@ func (t *Tree) promoteNNodes() {
 // with IDs in (nk, d*nk+d], then repeatedly split node nk+1, where nk is
 // the maximum k-node ID, updating nk after each split. The split node
 // becomes its own leftmost child.
-func (t *Tree) placeExtraJoins(extra []Member, place func(int, Member, bool)) {
+func (t *Tree) placeExtraJoins(extra []Member, place func(int, Member, bool), moved func(from, to int)) {
 	i := 0
 	if len(t.loc) == 0 && t.MaxKID() < 0 {
 		// Empty tree: seed it by making the root a k-node over a first
@@ -590,10 +779,11 @@ func (t *Tree) placeExtraJoins(extra []Member, place func(int, Member, bool)) {
 		split := nk + 1
 		child := t.d*split + 1
 		t.growTo(child + t.d - 1)
-		moved := t.nodes[split]
-		t.nodes[child] = moved
-		t.loc[moved.member] = child
+		m := t.nodes[split]
+		t.nodes[child] = m
+		t.loc[m.member] = child
 		t.nodes[split] = node{kind: KNode}
+		moved(split, child)
 		nk = split
 		for id := child + 1; id <= child+t.d-1 && i < len(extra); id++ {
 			place(id, extra[i], false)
@@ -602,26 +792,25 @@ func (t *Tree) placeExtraJoins(extra []Member, place func(int, Member, bool)) {
 	}
 }
 
-// relabelAndRekey performs the rekey-subtree labelling, generates new
-// keys for every updated k-node, and emits the per-edge encryptions
-// bottom-up.
-func (t *Tree) relabelAndRekey(joinPos, replacePos, vacatedPos map[int]bool) *BatchResult {
-	// Label bottom-up. n-nodes are Leave only if vacated this interval;
-	// holes inherited from earlier intervals are no change at all.
+// relabel performs the rekey-subtree labelling pass of the marking
+// algorithm, bottom-up. n-nodes are Leave only if vacated this
+// interval; holes inherited from earlier intervals are no change at
+// all.
+func (t *Tree) relabel(joinPos, replacePos, vacatedPos *bitset) {
 	for id := len(t.nodes) - 1; id >= 0; id-- {
 		n := &t.nodes[id]
 		switch n.kind {
 		case NNode:
-			if vacatedPos[id] {
+			if vacatedPos.get(id) {
 				n.label = Leave
 			} else {
 				n.label = Unchanged
 			}
 		case UNode:
 			switch {
-			case joinPos[id]:
+			case joinPos.get(id):
 				n.label = Join
-			case replacePos[id]:
+			case replacePos.get(id):
 				n.label = Replace
 			default:
 				n.label = Unchanged
@@ -657,63 +846,94 @@ func (t *Tree) relabelAndRekey(joinPos, replacePos, vacatedPos map[int]bool) *Ba
 			}
 		}
 	}
+}
 
-	// Generate new keys for every updated k-node (labels Join/Replace).
-	updated := 0
+// rekeyKNodes generates new keys for every updated k-node (labels
+// Join/Replace) and returns how many there were. The sequential
+// reference draws one key per node in ascending ID order; the parallel
+// pipeline collects the IDs and draws them all in one bulk generator
+// read. Generator.NewKeys consumes the CSPRNG stream exactly as the
+// per-node draws would, so both paths install identical keys.
+func (t *Tree) rekeyKNodes(seq bool) int {
+	if seq {
+		updated := 0
+		for id := range t.nodes {
+			n := &t.nodes[id]
+			if n.kind == KNode && (n.label == Join || n.label == Replace) {
+				n.key = t.gen.MustNewKey()
+				updated++
+			}
+		}
+		return updated
+	}
+	ids := make([]int, 0, 64)
 	for id := range t.nodes {
 		n := &t.nodes[id]
 		if n.kind == KNode && (n.label == Join || n.label == Replace) {
-			n.key = t.gen.MustNewKey()
-			updated++
+			ids = append(ids, id)
 		}
 	}
-
-	// Emit encryptions bottom-up: deepest level first, left-to-right.
-	// For every updated k-node, one encryption per non-Leave child:
-	// the child's current key wraps the parent's new key.
-	res := &BatchResult{
-		index:         make(map[uint32]int),
-		MaxKID:        t.MaxKID(),
-		GroupKey:      t.GroupKey(),
-		UserIDs:       t.userIDs(),
-		UpdatedKNodes: updated,
-		d:             t.d,
+	ks, err := t.gen.NewKeys(len(ids))
+	if err != nil {
+		panic(fmt.Sprintf("keytree: bulk key generation failed: %v", err))
 	}
+	for i, id := range ids {
+		t.nodes[id].key = ks[i]
+	}
+	return len(ids)
+}
+
+// emitEligible reports whether node id (at a level below the root)
+// contributes an encryption: it is a live node whose parent k-node got
+// a new key, and it did not itself leave. Both emission paths and the
+// parallel counting pass share this single test.
+func (t *Tree) emitEligible(id int) bool {
+	n := &t.nodes[id]
+	if n.kind != UNode && n.kind != KNode {
+		return false
+	}
+	p := &t.nodes[t.Parent(id)]
+	if p.kind != KNode || (p.label != Join && p.label != Replace) {
+		return false
+	}
+	return n.label != Leave
+}
+
+// levelBounds returns the node-ID ranges of each tree level:
+// level l spans [levelStart[l], levelStart[l+1]).
+func (t *Tree) levelBounds() []int {
 	levelStart := make([]int, t.height+2)
-	levelStart[0] = 0
 	for l := 1; l <= t.height+1; l++ {
 		levelStart[l] = fullSize(t.d, l-1) // nodes in levels 0..l-1
 	}
-	for level := t.height; level >= 0; level-- {
+	return levelStart
+}
+
+// emitSeq is the sequential reference emission: walk levels deepest
+// first, append one encryption per eligible edge, wrapping with the
+// one-shot keys.Wrap. The root level never emits (no parent edge).
+func (t *Tree) emitSeq(res *BatchResult) {
+	levelStart := t.levelBounds()
+	for level := t.height; level >= 1; level-- {
 		lo, hi := levelStart[level], levelStart[level+1]
 		if hi > len(t.nodes) {
 			hi = len(t.nodes)
 		}
+		start := len(res.Encryptions)
 		for id := lo; id < hi; id++ {
-			n := &t.nodes[id]
-			if n.kind != UNode && n.kind != KNode {
-				continue
-			}
-			parent := t.Parent(id)
-			if parent < 0 {
-				continue
-			}
-			p := &t.nodes[parent]
-			if p.kind != KNode || (p.label != Join && p.label != Replace) {
-				continue
-			}
-			if n.label == Leave {
+			if !t.emitEligible(id) {
 				continue
 			}
 			e := Encryption{ID: uint32(id)}
 			if !t.lite {
-				e.Wrapped = keys.Wrap(n.key, p.key)
+				e.Wrapped = keys.Wrap(t.nodes[id].key, t.nodes[t.Parent(id)].key)
 			}
-			res.index[e.ID] = len(res.Encryptions)
 			res.Encryptions = append(res.Encryptions, e)
 		}
+		if len(res.Encryptions) > start {
+			res.levels = append(res.levels, levelSeg{lo: lo, hi: hi, start: start})
+		}
 	}
-	return res
 }
 
 // NewID implements Theorem 4.2: given a user's pre-batch u-node ID m and

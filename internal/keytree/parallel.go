@@ -1,0 +1,120 @@
+package keytree
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/keys"
+	"repro/internal/tuning"
+)
+
+// emitChunk is the span width of the parallel emission: workers pull
+// node-ID spans of this many positions off a shared atomic cursor.
+// Large enough that the counting pass and cursor traffic are noise
+// against the AES work inside a span, small enough that a
+// million-entry level splits into hundreds of units and the pool
+// stays balanced even when eligibility is clustered.
+const emitChunk = 2048
+
+// emitSpan is one unit of parallel emission work: the eligible nodes
+// in [lo, hi) write their encryptions at Encryptions[out:].
+type emitSpan struct {
+	lo, hi int
+	out    int
+}
+
+// emitParallel produces exactly emitSeq's output, pre-sized and filled
+// in parallel. A serial counting pass over the rekey levels (cheap:
+// label/kind tests only, no crypto) fixes each span's output offset by
+// prefix sum, so every encryption's position is known before any wrap
+// runs; workers then pull spans off an atomic cursor and fill them
+// with a per-worker WrapContext. No locks, no post-hoc sorting, and
+// the result is byte-identical to the sequential path by construction.
+func (t *Tree) emitParallel(res *BatchResult) {
+	levelStart := t.levelBounds()
+	var spans []emitSpan
+	total := 0
+	for level := t.height; level >= 1; level-- {
+		lo, hi := levelStart[level], levelStart[level+1]
+		if hi > len(t.nodes) {
+			hi = len(t.nodes)
+		}
+		levelTotal := total
+		for s := lo; s < hi; s += emitChunk {
+			e := s + emitChunk
+			if e > hi {
+				e = hi
+			}
+			cnt := 0
+			for id := s; id < e; id++ {
+				if t.emitEligible(id) {
+					cnt++
+				}
+			}
+			if cnt > 0 {
+				spans = append(spans, emitSpan{lo: s, hi: e, out: total})
+				total += cnt
+			}
+		}
+		if total > levelTotal {
+			res.levels = append(res.levels, levelSeg{lo: lo, hi: hi, start: levelTotal})
+		}
+	}
+	if total == 0 {
+		return
+	}
+	res.Encryptions = make([]Encryption, total)
+
+	workers := tuning.ResolveWorkers(t.workers)
+	if workers > len(spans) {
+		workers = len(spans)
+	}
+	if workers <= 1 || t.lite {
+		// Inline: single-threaded fill (lite mode writes IDs only --
+		// no crypto to amortise goroutines over).
+		ctx := keys.NewWrapContext(keys.Key{})
+		for _, sp := range spans {
+			t.fillSpan(sp, res, ctx)
+		}
+		return
+	}
+
+	var cursor int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := keys.NewWrapContext(keys.Key{})
+			for {
+				i := int(atomic.AddInt64(&cursor, 1)) - 1
+				if i >= len(spans) {
+					return
+				}
+				t.fillSpan(spans[i], res, ctx)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// fillSpan writes one span's encryptions at their precomputed offsets.
+// Every tree edge has a distinct child (outer) key, so the context is
+// re-keyed per edge; what it saves over the one-shot keys.Wrap is the
+// per-call cipher/HMAC object construction, which dominates Wrap's
+// allocation profile.
+func (t *Tree) fillSpan(sp emitSpan, res *BatchResult, ctx *keys.WrapContext) {
+	out := sp.out
+	for id := sp.lo; id < sp.hi; id++ {
+		if !t.emitEligible(id) {
+			continue
+		}
+		e := &res.Encryptions[out]
+		e.ID = uint32(id)
+		if !t.lite {
+			ctx.SetKey(t.nodes[id].key)
+			ctx.WrapInto(&e.Wrapped, t.nodes[t.Parent(id)].key)
+		}
+		out++
+	}
+}

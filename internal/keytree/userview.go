@@ -20,6 +20,9 @@ type UserView struct {
 	// of the k-nodes on its path to the root, as far as it has learned
 	// them. Keys[0] is the group key.
 	Keys map[int]keys.Key
+	// uctx is the cached unwrap context the ingest path re-keys per
+	// path edge, lazily built on first Apply.
+	uctx *keys.UnwrapContext
 }
 
 // NewUserView returns the view a member holds right after registration:
@@ -80,7 +83,12 @@ func (u *UserView) Apply(maxKID int, encs []Encryption) error {
 		if !ok {
 			return fmt.Errorf("keytree: member %d: needs key of node %d to unwrap node %d's key, but does not hold it", u.Member, cur, parent)
 		}
-		parentKey, err := keys.Unwrap(holding, e.Wrapped)
+		if u.uctx == nil {
+			u.uctx = keys.NewUnwrapContext(holding)
+		} else {
+			u.uctx.SetKey(holding)
+		}
+		parentKey, err := u.uctx.Unwrap(e.Wrapped)
 		if err != nil {
 			return fmt.Errorf("keytree: member %d: unwrapping key of node %d: %w", u.Member, parent, err)
 		}

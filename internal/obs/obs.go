@@ -49,6 +49,14 @@ const (
 	CParityCacheMiss
 	// CUnicastWaves counts USR retransmission waves run.
 	CUnicastWaves
+	// CKeysGenerated counts fresh keys the key server drew (individual
+	// keys for placed users plus new k-node keys).
+	CKeysGenerated
+	// CWraps counts {k'}_k wrap operations the batch pipeline performed.
+	CWraps
+	// CWrapNs accumulates nanoseconds spent in the wrap-emission phase
+	// of batch processing (the AES+HMAC-dominated server hot path).
+	CWrapNs
 	// Client side.
 	// CEncRecv, CParityRecv and CUsrRecv count packets a member's
 	// transport client received, by type.
@@ -63,6 +71,11 @@ const (
 	CIngestErrors
 	// CFECRecoveries counts completions that needed FEC decoding.
 	CFECRecoveries
+	// CDecodeCacheHit / CDecodeCacheMiss count FEC decodes whose
+	// inverted decode matrix was served from the coder's LRU cache vs
+	// freshly inverted (loss patterns repeat across blocks in a burst).
+	CDecodeCacheHit
+	CDecodeCacheMiss
 
 	numCounters
 )
@@ -79,6 +92,9 @@ var counterNames = [numCounters]string{
 	CParityCacheHit:  "parity_cache_hit",
 	CParityCacheMiss: "parity_cache_miss",
 	CUnicastWaves:    "unicast_waves",
+	CKeysGenerated:   "keys_generated",
+	CWraps:           "wraps",
+	CWrapNs:          "wrap_ns",
 	CEncRecv:         "enc_recv",
 	CParityRecv:      "parity_recv",
 	CUsrRecv:         "usr_recv",
@@ -86,6 +102,8 @@ var counterNames = [numCounters]string{
 	CIngestStale:     "ingest_stale",
 	CIngestErrors:    "ingest_errors",
 	CFECRecoveries:   "fec_recoveries",
+	CDecodeCacheHit:  "decode_cache_hit",
+	CDecodeCacheMiss: "decode_cache_miss",
 }
 
 // Gauge identifies a last-value-wins measurement.

@@ -10,10 +10,10 @@ package protocol
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/fec"
+	"repro/internal/tuning"
 )
 
 // BlockParity is one block's encode request: generate parity shards
@@ -34,9 +34,7 @@ type BlockParity struct {
 // several rekey messages may encode through one Coder from concurrent
 // EncodeBlocks calls.
 func EncodeBlocks(c *fec.Coder, reqs []BlockParity, workers int) ([][][]byte, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = tuning.ResolveWorkers(workers)
 	if workers > len(reqs) {
 		workers = len(reqs)
 	}

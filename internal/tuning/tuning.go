@@ -9,7 +9,10 @@
 // multicast rounds.
 package tuning
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // MaxK bounds the FEC block size: k data shards plus at least k parity
 // shards must fit in the Reed-Solomon code's 256-shard space
@@ -75,6 +78,20 @@ func (t Tuning) WithDefaults() Tuning {
 	}
 	return t
 }
+
+// ResolveWorkers resolves a Workers knob value to a concrete goroutine
+// count: n > 0 is taken as-is, anything else means GOMAXPROCS. Every
+// parallel stage (FEC encode fan-out, the batch rekey pipeline) resolves
+// its bound through here so "0 = all cores" is defined once.
+func ResolveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// EffectiveWorkers resolves the Workers knob (see ResolveWorkers).
+func (t Tuning) EffectiveWorkers() int { return ResolveWorkers(t.Workers) }
 
 // Validate checks every knob and returns an error naming the offending
 // field, or nil.

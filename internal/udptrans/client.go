@@ -104,6 +104,7 @@ func (c *Client) Close() error {
 // cancellation.
 func (c *Client) Run(ctx context.Context) error {
 	defer close(c.done)
+	c.Member.SetObs(c.Obs)
 	stopWatch := context.AfterFunc(ctx, func() {
 		c.conn.SetReadDeadline(time.Now()) //nolint:errcheck
 	})

@@ -9,6 +9,7 @@ import (
 	"repro/internal/fec"
 	"repro/internal/keys"
 	"repro/internal/keytree"
+	"repro/internal/obs"
 	"repro/internal/packet"
 )
 
@@ -60,6 +61,9 @@ type Member struct {
 	k     int
 	coder *fec.Coder
 	cur   *msgAssembly
+	// scratch holds the k decode output buffers, reused across blocks
+	// and messages via fec.DecodeInto.
+	scratch [][]byte
 }
 
 // msgAssembly accumulates one rekey message's shards.
@@ -81,10 +85,18 @@ func NewMember(c Credentials) (*Member, error) {
 		return nil, err
 	}
 	return &Member{
-		view:  keytree.NewUserView(c.Degree, c.Member, c.NodeID, c.Key),
-		k:     c.BlockSize,
-		coder: coder,
+		view:    keytree.NewUserView(c.Degree, c.Member, c.NodeID, c.Key),
+		k:       c.BlockSize,
+		coder:   coder,
+		scratch: make([][]byte, c.BlockSize),
 	}, nil
+}
+
+// SetObs attaches a metrics registry to the member's FEC decoder
+// (decode-matrix cache hits/misses). Returns the Member for chaining.
+func (m *Member) SetObs(r *obs.Registry) *Member {
+	m.coder.SetObs(r)
+	return m
 }
 
 // ID returns the member's current node ID.
@@ -260,11 +272,10 @@ func (m *Member) tryDecode(a *msgAssembly, res IngestResult) (IngestResult, erro
 		for seq, payload := range shardMap {
 			shards = append(shards, fec.Shard{Index: seq, Data: payload})
 		}
-		payloads, err := m.coder.Decode(shards)
-		if err != nil {
+		if err := m.coder.DecodeInto(m.scratch, shards); err != nil {
 			continue // fewer than k distinct shards
 		}
-		for seq, payload := range payloads {
+		for seq, payload := range m.scratch {
 			full := make([]byte, packet.PacketLen)
 			full[0] = byte(packet.TypeENC)<<6 | a.msgID
 			full[1] = byte(block)

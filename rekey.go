@@ -117,7 +117,7 @@ func NewServer(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:    cfg,
 		obs:    cfg.Obs,
-		tree:   keytree.New(cfg.Degree, gen),
+		tree:   keytree.New(cfg.Degree, gen).SetWorkers(cfg.Workers).SetObs(cfg.Obs),
 		queued: make(map[MemberID]bool),
 	}, nil
 }
