@@ -9,6 +9,7 @@
 package rekey_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"testing"
@@ -227,7 +228,7 @@ func BenchmarkFECEncodeParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
 			b.SetBytes(int64(blocks * k * plen))
 			for i := 0; i < b.N; i++ {
-				if _, err := protocol.EncodeBlocks(coder, reqs, workers); err != nil {
+				if _, err := protocol.EncodeBlocks(context.Background(), coder, reqs, workers); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -267,7 +268,7 @@ func main() {
 			fmt.Sprintf("FECEncodeParallel/blocks%d/workers%d", blocks, workers), blocks*k*plen,
 			func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := protocol.EncodeBlocks(coder, reqs, workers); err != nil {
+					if _, err := protocol.EncodeBlocks(context.Background(), coder, reqs, workers); err != nil {
 						b.Fatal(err)
 					}
 				}

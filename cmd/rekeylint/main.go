@@ -1,0 +1,60 @@
+// Command rekeylint is the project's multichecker: it runs the full
+// internal/lint analyzer suite over package patterns and exits
+// non-zero on any finding, which is what makes it a CI gate.
+//
+// Usage:
+//
+//	go run ./cmd/rekeylint ./...          # whole module (the CI gate)
+//	go run ./cmd/rekeylint ./internal/fec # one package
+//	go run ./cmd/rekeylint -list          # show the analyzer suite
+//
+// Patterns are resolved relative to the module root (found by walking
+// up from the working directory to go.mod); `dir/...` recurses,
+// skipping testdata. Findings print as file:line:col: analyzer:
+// message. A finding is silenced only by fixing it or by a reviewed
+// `//rekeylint:ignore <reason>` comment on the same line or the line
+// above -- and an ignore without a reason is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzer suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rekeylint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	modRoot, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rekeylint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(modRoot, flag.Args(), analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rekeylint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rekeylint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

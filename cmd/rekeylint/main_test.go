@@ -1,0 +1,59 @@
+package main_test
+
+import (
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestGate builds the rekeylint binary and checks both sides of the CI
+// gate: the repository itself must be clean (exit 0), and the
+// known-bad module under testdata must fail (exit 1) with its planted
+// findings reported.
+func TestGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the full multichecker; skipped with -short")
+	}
+	modRoot, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "rekeylint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/rekeylint")
+	build.Dir = modRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building rekeylint: %v\n%s", err, out)
+	}
+
+	t.Run("repo-clean", func(t *testing.T) {
+		cmd := exec.Command(bin, "./...")
+		cmd.Dir = modRoot
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("rekeylint on the repository: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("badrepo-fails", func(t *testing.T) {
+		cmd := exec.Command(bin, "./...")
+		cmd.Dir = filepath.Join(modRoot, "internal", "lint", "testdata", "badrepo")
+		out, err := cmd.CombinedOutput()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("rekeylint on badrepo: want non-zero exit, got err=%v\n%s", err, out)
+		}
+		if ee.ExitCode() != 1 {
+			t.Fatalf("rekeylint on badrepo: want exit 1, got %d\n%s", ee.ExitCode(), out)
+		}
+		text := string(out)
+		for _, frag := range []string{"math/rand", "ErrBoom is compared with =="} {
+			if !strings.Contains(text, frag) {
+				t.Errorf("badrepo output missing %q:\n%s", frag, text)
+			}
+		}
+	})
+}

@@ -17,7 +17,6 @@ package fec
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/gf256"
@@ -131,15 +130,17 @@ func (c *Coder) Encode(data [][]byte, first, n int) ([][]byte, error) {
 // of re-walking all k data packets per parity row as Encode does. The
 // n outputs share one row-major allocation. The bytes produced are
 // identical to Encode's (parity indices are stable).
+//
+//rekeylint:hotpath
 func (c *Coder) EncodeAll(data [][]byte, first, n int) ([][]byte, error) {
 	if err := c.checkData(data); err != nil {
 		return nil, err
 	}
 	if n < 0 {
-		return nil, fmt.Errorf("fec: parity count %d, must be non-negative", n)
+		return nil, errParityCount(n)
 	}
 	if first < 0 || first+n > len(c.rows) {
-		return nil, fmt.Errorf("fec: parity range [%d,%d) outside [0,%d)", first, first+n, len(c.rows))
+		return nil, errParityRange(first, n, len(c.rows))
 	}
 	plen := len(data[0])
 	buf := make([]byte, n*plen)
@@ -153,6 +154,24 @@ func (c *Coder) EncodeAll(data [][]byte, first, n int) ([][]byte, error) {
 		}
 	}
 	return out, nil
+}
+
+// errParityCount, errParityRange, errOutSlots and errShardLen keep
+// fmt off the annotated hot paths; the message strings are unchanged.
+func errParityCount(n int) error {
+	return fmt.Errorf("fec: parity count %d, must be non-negative", n)
+}
+
+func errParityRange(first, n, max int) error {
+	return fmt.Errorf("fec: parity range [%d,%d) outside [0,%d)", first, first+n, max)
+}
+
+func errOutSlots(got, k int) error {
+	return fmt.Errorf("fec: out has %d slots, coder expects k=%d", got, k)
+}
+
+func errShardLen(idx, got, want int) error {
+	return fmt.Errorf("fec: shard %d has length %d, want %d", idx, got, want)
 }
 
 func (c *Coder) checkData(data [][]byte) error {
@@ -212,10 +231,12 @@ func (m *shardMask) testAndSet(i int) bool {
 // inverts an m x m system and does O(m*k) slice operations of plen
 // bytes, against the reference decoder's O(k^2). Solved coefficient
 // matrices are cached per loss pattern (see invCache).
+//
+//rekeylint:hotpath
 func (c *Coder) DecodeInto(out [][]byte, shards []Shard) error {
 	k := c.k
 	if len(out) != k {
-		return fmt.Errorf("fec: out has %d slots, coder expects k=%d", len(out), k)
+		return errOutSlots(len(out), k)
 	}
 
 	// Partition the received shards by index: dataPos[j] locates the
@@ -226,7 +247,8 @@ func (c *Coder) DecodeInto(out [][]byte, shards []Shard) error {
 	for i := range dataPos {
 		dataPos[i] = -1
 	}
-	var parityPos []int
+	parityPos := make([]int, len(shards))
+	np := 0
 	have := 0
 	for i, s := range shards {
 		switch {
@@ -237,14 +259,18 @@ func (c *Coder) DecodeInto(out [][]byte, shards []Shard) error {
 			}
 		case s.Index >= k && s.Index < k+len(c.rows):
 			if !seen.testAndSet(s.Index) {
-				parityPos = append(parityPos, i)
+				parityPos[np] = i
+				np++
 			}
 		}
 	}
-	missing := make([]int, 0, k-have)
+	parityPos = parityPos[:np]
+	missing := make([]int, k-have)
+	nm := 0
 	for j, p := range dataPos {
 		if p < 0 {
-			missing = append(missing, j)
+			missing[nm] = j
+			nm++
 		}
 	}
 	m := len(missing)
@@ -254,10 +280,17 @@ func (c *Coder) DecodeInto(out [][]byte, shards []Shard) error {
 	// Normalise the parity choice to the m lowest indices: the solved
 	// matrix depends only on (missing, parities used), so a canonical
 	// pick maximises cache hits; the reconstructed bytes are exact
-	// either way.
-	sort.Slice(parityPos, func(a, b int) bool {
-		return shards[parityPos[a]].Index < shards[parityPos[b]].Index
-	})
+	// either way. Insertion sort keeps sort.Slice's closure off the hot
+	// path; indices are distinct after dedup, so the order matches.
+	for a := 1; a < len(parityPos); a++ {
+		p := parityPos[a]
+		b := a
+		for b > 0 && shards[parityPos[b-1]].Index > shards[p].Index {
+			parityPos[b] = parityPos[b-1]
+			b--
+		}
+		parityPos[b] = p
+	}
 	parityPos = parityPos[:m]
 
 	// Validate the lengths of every shard the decode will touch.
@@ -273,19 +306,21 @@ func (c *Coder) DecodeInto(out [][]byte, shards []Shard) error {
 	}
 	for j, p := range dataPos {
 		if p >= 0 && len(shards[p].Data) != plen {
-			return fmt.Errorf("fec: shard %d has length %d, want %d", j, len(shards[p].Data), plen)
+			return errShardLen(j, len(shards[p].Data), plen)
 		}
 	}
 	for _, p := range parityPos {
 		if len(shards[p].Data) != plen {
-			return fmt.Errorf("fec: shard %d has length %d, want %d", shards[p].Index, len(shards[p].Data), plen)
+			return errShardLen(shards[p].Index, len(shards[p].Data), plen)
 		}
 	}
 
 	// Received data packets are already the answer: copy them through.
 	for j, p := range dataPos {
 		if p >= 0 {
-			out[j] = append(ensure(out[j], plen)[:0], shards[p].Data...)
+			d := ensure(out[j], plen)
+			copy(d, shards[p].Data)
+			out[j] = d
 		}
 	}
 	if m == 0 {
@@ -408,8 +443,8 @@ const invCacheCap = 32
 // matrices keyed by loss pattern.
 type invCache struct {
 	mu    sync.Mutex
-	m     map[string]*gf256.Matrix
-	order []string // least recently used first
+	m     map[string]*gf256.Matrix // guarded by mu
+	order []string                 // guarded by mu; least recently used first
 }
 
 func (ic *invCache) get(key string) *gf256.Matrix {

@@ -2,6 +2,7 @@ package fec
 
 import (
 	"bytes"
+	"errors"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -156,7 +157,7 @@ func TestDecodeShortBlock(t *testing.T) {
 		{Index: 1, Data: data[1]},
 		{Index: 0, Data: data[0]}, // duplicate must not count twice
 	}
-	if _, err := c.Decode(shards); err != ErrShortBlock {
+	if _, err := c.Decode(shards); !errors.Is(err, ErrShortBlock) {
 		t.Fatalf("got %v, want ErrShortBlock", err)
 	}
 }

@@ -30,6 +30,7 @@ func kernelName() string {
 	return "generic"
 }
 
+//rekeylint:hotpath
 func mulKernel(dst, src []byte, c byte) {
 	if hasSSSE3 {
 		if n := len(src) &^ 15; n > 0 {
@@ -40,6 +41,7 @@ func mulKernel(dst, src []byte, c byte) {
 	mulGeneric(dst, src, c)
 }
 
+//rekeylint:hotpath
 func mulAddKernel(dst, src []byte, c byte) {
 	if hasSSSE3 {
 		if n := len(src) &^ 15; n > 0 {

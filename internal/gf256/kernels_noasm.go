@@ -4,5 +4,8 @@ package gf256
 
 func kernelName() string { return "generic" }
 
-func mulKernel(dst, src []byte, c byte)    { mulGeneric(dst, src, c) }
+//rekeylint:hotpath
+func mulKernel(dst, src []byte, c byte) { mulGeneric(dst, src, c) }
+
+//rekeylint:hotpath
 func mulAddKernel(dst, src []byte, c byte) { mulAddGeneric(dst, src, c) }

@@ -1,6 +1,7 @@
 package keys
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -40,7 +41,7 @@ func TestWrapContextUnwrapRoundTrip(t *testing.T) {
 		if got != inner {
 			t.Fatal("context unwrap did not recover the inner key")
 		}
-		if _, err := ctx.Unwrap(NewWrapContext(g.MustNewKey()).Wrap(inner)); err != ErrBadTag {
+		if _, err := ctx.Unwrap(NewWrapContext(g.MustNewKey()).Wrap(inner)); !errors.Is(err, ErrBadTag) {
 			t.Fatalf("unwrap under wrong key: err=%v, want ErrBadTag", err)
 		}
 	}
@@ -56,7 +57,7 @@ func TestWrapContextCorruptionDetected(t *testing.T) {
 	for i := 0; i < WrappedSize; i++ {
 		c := w
 		c[i] ^= 0x01
-		if _, err := ctx.Unwrap(c); err != ErrBadTag {
+		if _, err := ctx.Unwrap(c); !errors.Is(err, ErrBadTag) {
 			t.Fatalf("corruption at byte %d undetected by context", i)
 		}
 	}

@@ -2,6 +2,7 @@ package keys
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -37,10 +38,10 @@ func FuzzWrapContext(f *testing.F) {
 		// Corrupt one bit; both unwrap paths must reject it.
 		c := got
 		c[int(flip)%WrappedSize] ^= 1 << (flip % 8)
-		if _, err := ctx.Unwrap(c); err != ErrBadTag {
+		if _, err := ctx.Unwrap(c); !errors.Is(err, ErrBadTag) {
 			t.Fatalf("context accepted corrupted wrap: %v", err)
 		}
-		if _, err := Unwrap(outer, c); err != ErrBadTag {
+		if _, err := Unwrap(outer, c); !errors.Is(err, ErrBadTag) {
 			t.Fatalf("reference accepted corrupted wrap: %v", err)
 		}
 	})

@@ -2,6 +2,7 @@ package keys
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -57,7 +58,7 @@ func TestUnwrapWrongKeyFails(t *testing.T) {
 	g := NewDeterministicGenerator(8)
 	outer, inner, wrong := g.MustNewKey(), g.MustNewKey(), g.MustNewKey()
 	w := Wrap(outer, inner)
-	if _, err := Unwrap(wrong, w); err != ErrBadTag {
+	if _, err := Unwrap(wrong, w); !errors.Is(err, ErrBadTag) {
 		t.Fatalf("unwrap with wrong key: err=%v, want ErrBadTag", err)
 	}
 }
@@ -69,7 +70,7 @@ func TestUnwrapCorruptionDetected(t *testing.T) {
 	for i := 0; i < WrappedSize; i++ {
 		c := w
 		c[i] ^= 0x80
-		if _, err := Unwrap(outer, c); err != ErrBadTag {
+		if _, err := Unwrap(outer, c); !errors.Is(err, ErrBadTag) {
 			t.Fatalf("corruption at byte %d undetected", i)
 		}
 	}

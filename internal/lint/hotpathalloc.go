@@ -1,0 +1,131 @@
+package lint
+
+// hotpathalloc: the allocation-discipline invariant behind the PR-1
+// GF(2^8) kernels and the PR-3 million-member wrap pipeline. Functions
+// annotated //rekeylint:hotpath (WrapInto, the MulAddSlice kernels and
+// their FEC callers, DecodeInto, the obs counter fast paths) are the
+// per-key and per-byte inner loops whose benchmarks assume zero
+// allocation; this analyzer rejects the constructs that (re)introduce
+// hidden allocations: append growth, map/slice composite literals,
+// closures, fmt calls, and interface-boxing conversions.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAlloc enforces allocation-free bodies for functions annotated
+// //rekeylint:hotpath.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "//rekeylint:hotpath functions must avoid append growth, map/slice literals, closures, fmt and interface boxing",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn.Doc, "hotpath") {
+				continue
+			}
+			checkHotBody(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func checkHotBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "closure in hot path allocates; hoist it or restructure")
+			return false // the closure itself is the finding
+		case *ast.CompositeLit:
+			switch pass.Info.Types[x].Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(x.Pos(), "map literal in hot path allocates")
+			case *types.Slice:
+				pass.Reportf(x.Pos(), "slice literal in hot path allocates")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, x)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	fun := unparen(call.Fun)
+
+	// Type conversions: flag conversions to interface types.
+	if tv, ok := pass.Info.Types[fun]; ok && tv.IsType() {
+		if isBoxing(tv.Type, pass.Info.Types[call.Args[0]].Type) {
+			pass.Reportf(call.Pos(), "conversion to interface type %s boxes in hot path", tv.Type)
+		}
+		return
+	}
+
+	// Builtins: only append is an allocation hazard here (panic's
+	// argument is interned static data on the cold path).
+	if id, ok := fun.(*ast.Ident); ok {
+		if obj, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			if obj.Name() == "append" {
+				pass.Reportf(call.Pos(), "append in hot path may grow its backing array; write through a pre-sized buffer instead")
+			}
+			return
+		}
+	}
+
+	// fmt calls: Sprintf/Errorf/Fprintf all allocate (and box their
+	// variadic operands).
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if obj := pass.Info.Uses[sel.Sel]; obj != nil && pkgPathOf(obj) == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s in hot path allocates; move formatting to a cold helper", sel.Sel.Name)
+			return
+		}
+	}
+
+	// Interface boxing through ordinary calls: a concrete argument
+	// passed to an interface-typed parameter escapes to the heap.
+	sig, ok := pass.Info.Types[fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isBoxing(pt, pass.Info.Types[arg].Type) {
+			pass.Reportf(arg.Pos(), "argument boxes into interface parameter %s in hot path", pt)
+		}
+	}
+}
+
+// isBoxing reports whether assigning a value of concrete type from to
+// an interface destination type to would box.
+func isBoxing(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	if _, ok := from.Underlying().(*types.Interface); ok {
+		return false // interface-to-interface carries the existing box
+	}
+	if basic, ok := from.(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}

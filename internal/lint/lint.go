@@ -1,0 +1,246 @@
+// Package lint is rekeylint: a project-native static-analysis suite
+// that machine-checks the invariants this repository's crypto, hot-path
+// and concurrency work depends on but `go vet` cannot see.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer / Pass / Reportf and analysistest-style "// want" fixtures)
+// but is self-contained on the standard library's go/ast, go/types and
+// go/importer packages, so the repository keeps its zero-dependency
+// module while still getting a real multichecker. Packages are loaded
+// and type-checked by Loader (load.go); Run (run.go) expands `./...`
+// patterns, applies `//rekeylint:ignore <reason>` suppressions and
+// returns the surviving diagnostics.
+//
+// The analyzer set (one file each):
+//
+//   - cryptorand:   key-path packages must not use math/rand or
+//     time-seeded randomness (crypto material comes from the batched
+//     CSPRNG in internal/keys only).
+//   - hotpathalloc: functions annotated //rekeylint:hotpath must stay
+//     free of append growth, map/slice literals, closures, fmt calls
+//     and interface-boxing conversions.
+//   - obsnil:       methods on the obs registry must start with the
+//     nil-receiver guard that makes a nil *Registry a no-op, and no
+//     caller may dereference a possibly-nil registry.
+//   - ctxfirst:     exported blocking APIs take context.Context first.
+//   - errsentinel:  sentinel errors are matched with errors.Is, never
+//     compared with == / != or switched on.
+//   - guardedby:    fields annotated "guarded by <mu>" are only
+//     touched by functions that lock that mutex (function-local,
+//     conservative; the *Locked name suffix marks caller-held locks).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and test output.
+	Name string
+	// Doc is a one-line description of the invariant enforced.
+	Doc string
+	// Run inspects the package behind pass and reports findings via
+	// pass.Reportf. A returned error aborts the whole lint run (it
+	// means the analyzer itself failed, not that the code is bad).
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding, positioned in the linted source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Path is the package's import path. Fixture packages are loaded
+	// under synthetic paths, so path-scoped analyzers (cryptorand,
+	// obsnil) can be exercised from testdata.
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file is a _test.go file. Several
+// analyzers exempt tests (deterministic seeds and direct field pokes
+// are fine there); errsentinel deliberately does not.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// DefaultAnalyzers returns the full rekeylint suite, the set
+// cmd/rekeylint runs as a CI gate.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		Cryptorand,
+		HotPathAlloc,
+		ObsNil,
+		CtxFirst,
+		ErrSentinel,
+		GuardedBy,
+	}
+}
+
+// hasDirective reports whether the comment group contains the given
+// //rekeylint:<name> directive line.
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == "rekeylint:"+name || strings.HasPrefix(text, "rekeylint:"+name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreDirective matches one //rekeylint:ignore comment and captures
+// the (required) reason.
+const ignorePrefix = "rekeylint:ignore"
+
+// applyIgnores drops diagnostics suppressed by a //rekeylint:ignore
+// comment on the same line or the line immediately above, and adds a
+// diagnostic for every ignore directive missing its reason (a reviewed
+// reason is what makes a suppression auditable).
+func applyIgnores(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	// ignored[file][line] records lines carrying a well-formed ignore.
+	ignored := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				pos := fset.Position(c.Pos())
+				if reason == "" {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "rekeylint",
+						Message:  "rekeylint:ignore requires a reason, e.g. //rekeylint:ignore cold error path",
+					})
+					continue
+				}
+				m := ignored[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					ignored[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "rekeylint" { // never suppress the suppression check
+			if m := ignored[d.Pos.Filename]; m != nil && (m[d.Pos.Line] || m[d.Pos.Line-1]) {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// sortDiags orders findings by file, line, column, analyzer.
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// --- small shared type/AST helpers used by several analyzers ---
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// chainRoot returns the identifier at the base of a selector/index
+// chain (r in r.trace.buf[i]), or nil when the chain is rooted in a
+// call or other non-identifier expression.
+func chainRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// pkgPathOf returns the import path of the package declaring obj, or ""
+// for universe-scope objects.
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}

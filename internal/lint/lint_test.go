@@ -1,0 +1,114 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// One fixture run per analyzer: positive and negative cases live in
+// the testdata packages as `// want` comments.
+
+func TestCryptorandRestricted(t *testing.T) {
+	linttest.Run(t, lint.Cryptorand, linttest.Fixture{
+		Dir:          "testdata/cryptorand/keys",
+		Path:         "repro/internal/keys",
+		IncludeTests: true,
+	})
+}
+
+func TestCryptorandUnrestricted(t *testing.T) {
+	linttest.Run(t, lint.Cryptorand, linttest.Fixture{
+		Dir:  "testdata/cryptorand/sim",
+		Path: "repro/internal/sim",
+	})
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotPathAlloc, linttest.Fixture{
+		Dir:  "testdata/hotpathalloc",
+		Path: "repro/internal/hp",
+	})
+}
+
+func TestObsNilRegistry(t *testing.T) {
+	linttest.Run(t, lint.ObsNil, linttest.Fixture{
+		Dir:  "testdata/obsnil/obs",
+		Path: "repro/internal/obs",
+	})
+}
+
+func TestObsNilCallers(t *testing.T) {
+	linttest.Run(t, lint.ObsNil, linttest.Fixture{
+		Dir:  "testdata/obsnil/caller",
+		Path: "repro/internal/caller",
+		Overrides: map[string]string{
+			"repro/internal/obs": "testdata/obsnil/obs",
+		},
+	})
+}
+
+func TestCtxFirst(t *testing.T) {
+	linttest.Run(t, lint.CtxFirst, linttest.Fixture{
+		Dir:  "testdata/ctxfirst",
+		Path: "repro/internal/cf",
+	})
+}
+
+func TestErrSentinel(t *testing.T) {
+	linttest.Run(t, lint.ErrSentinel, linttest.Fixture{
+		Dir:          "testdata/errsentinel",
+		Path:         "repro/internal/es",
+		IncludeTests: true,
+	})
+}
+
+func TestGuardedBy(t *testing.T) {
+	linttest.Run(t, lint.GuardedBy, linttest.Fixture{
+		Dir:  "testdata/guardedby",
+		Path: "repro/internal/gb",
+	})
+}
+
+// TestIgnoreRequiresReason checks the suppression mechanism directly:
+// a bare //rekeylint:ignore suppresses nothing and is itself reported.
+func TestIgnoreRequiresReason(t *testing.T) {
+	modRoot, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(modRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs("testdata/ignores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Overrides["repro/internal/ig"] = dir
+	pkgs, err := loader.Packages("repro/internal/ig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs[0], loader.Fset, []*lint.Analyzer{lint.HotPathAlloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (missing reason + unsuppressed append): %v", len(diags), diags)
+	}
+	var sawReason, sawAppend bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "rekeylint":
+			sawReason = true
+		case "hotpathalloc":
+			sawAppend = true
+		}
+	}
+	if !sawReason || !sawAppend {
+		t.Fatalf("diagnostics missing expected pair: %v", diags)
+	}
+}

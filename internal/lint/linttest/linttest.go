@@ -1,0 +1,154 @@
+// Package linttest runs one rekeylint analyzer over a testdata fixture
+// package and compares its diagnostics against `// want "regexp"`
+// comments in the fixture source -- the analysistest idiom, rebuilt on
+// the project's own loader so fixtures can masquerade as key-path
+// packages via synthetic import paths.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// A Fixture describes one testdata package to analyze.
+type Fixture struct {
+	// Dir is the fixture directory, relative to the test's working
+	// directory (e.g. "testdata/hotpathalloc").
+	Dir string
+	// Path is the import path the fixture loads under. Path-scoped
+	// analyzers key off suffixes like internal/keys or internal/obs, so
+	// fixtures pick paths accordingly.
+	Path string
+	// Overrides maps further synthetic import paths to directories, for
+	// fixtures that import a stand-in package (a caller fixture
+	// importing a fake repro/internal/obs, say).
+	Overrides map[string]string
+	// IncludeTests loads the fixture's _test.go files too, for
+	// exercising test-file exemptions.
+	IncludeTests bool
+}
+
+// want is one expectation parsed from a `// want "re"` comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run analyzes the fixture with a and fails t on any mismatch between
+// reported diagnostics and the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, fx Fixture) {
+	t.Helper()
+	modRoot, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(modRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.IncludeTests = fx.IncludeTests
+	dir, err := filepath.Abs(fx.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Overrides[fx.Path] = dir
+	for p, d := range fx.Overrides {
+		abs, err := filepath.Abs(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loader.Overrides[p] = abs
+	}
+	pkgs, err := loader.Packages(fx.Path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fx.Dir, err)
+	}
+
+	var diags []lint.Diagnostic
+	var wants []*want
+	for _, pkg := range pkgs {
+		ds, err := lint.RunAnalyzers(pkg, loader.Fset, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags = append(diags, ds...)
+		ws, err := collectWants(loader.Fset, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	for _, d := range diags {
+		if !consume(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// consume marks the first unmatched want on the diagnostic's line whose
+// regexp matches its message.
+func consume(wants []*want, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRe extracts the payload of a want comment; the quoted regexps
+// are then pulled out one Go string literal at a time.
+var (
+	wantRe    = regexp.MustCompile(`//\s*want\s+(.*)`)
+	literalRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+func collectWants(fset *token.FileSet, pkg *lint.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lits := literalRe.FindAllString(m[1], -1)
+				if len(lits) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment with no quoted regexp", pos.Filename, pos.Line)
+				}
+				for _, lit := range lits {
+					s, err := strconv.Unquote(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, s, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: s})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,166 @@
+package lint
+
+// obsnil: the nil-registry invariant from the PR-2 observability layer.
+// Every method on *obs.Registry is documented safe on a nil receiver --
+// that is what lets unobserved pipelines pay only a nil check. The
+// contract has two sides: inside the obs package, any registry method
+// that touches receiver state must open with the `if r == nil` guard
+// (or touch no fields at all, like the HTTP handler constructors);
+// outside it, callers must not dereference or copy a possibly-nil
+// registry value -- they go through methods, which are nil-safe.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ObsNil enforces the nil-receiver discipline of obs registry types.
+var ObsNil = &Analyzer{
+	Name: "obsnil",
+	Doc:  "obs registry methods start with the nil-receiver guard; callers never dereference a possibly-nil registry",
+	Run:  runObsNil,
+}
+
+// obsPkgSuffix identifies the registry's home package (fixtures load
+// under a synthetic path with the same suffix).
+const obsPkgSuffix = "internal/obs"
+
+// isRegistryType reports whether t (after stripping pointers) is a
+// registry type declared in an obs package.
+func isRegistryType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return strings.HasSuffix(obj.Name(), "Registry") && strings.HasSuffix(pkgPathOf(obj), obsPkgSuffix)
+}
+
+func runObsNil(pass *Pass) error {
+	inObs := strings.HasSuffix(pass.Path, obsPkgSuffix)
+	for _, f := range pass.Files {
+		if inObs {
+			checkRegistryMethods(pass, f)
+		}
+		checkRegistryCallers(pass, f, inObs)
+	}
+	return nil
+}
+
+// checkRegistryMethods verifies the guard inside the obs package.
+func checkRegistryMethods(pass *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) == 0 {
+			continue
+		}
+		recvField := fn.Recv.List[0]
+		if len(recvField.Names) == 0 {
+			continue // unnamed receiver cannot be dereferenced
+		}
+		recvIdent := recvField.Names[0]
+		recvObj := pass.Info.Defs[recvIdent]
+		if recvObj == nil || !isRegistryType(recvObj.Type()) {
+			continue
+		}
+		if _, isPtr := recvObj.Type().(*types.Pointer); !isPtr {
+			pass.Reportf(fn.Pos(), "method %s on registry value receiver; use a pointer receiver so the nil-registry contract holds", fn.Name.Name)
+			continue
+		}
+		if !methodTouchesReceiverFields(pass, fn, recvObj) {
+			continue // forwarding methods (Inc, handler constructors) are nil-safe through their callees
+		}
+		if !startsWithNilGuard(pass, fn.Body, recvObj) {
+			pass.Reportf(fn.Pos(), "registry method %s touches receiver fields without the leading `if %s == nil` guard", fn.Name.Name, recvIdent.Name)
+		}
+	}
+}
+
+// methodTouchesReceiverFields reports whether any selector chain rooted
+// at the receiver reaches a struct field (method calls are fine: each
+// callee re-checks nil).
+func methodTouchesReceiverFields(pass *Pass, fn *ast.FuncDecl, recvObj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		if root := chainRoot(sel.X); root != nil && pass.Info.Uses[root] == recvObj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// startsWithNilGuard reports whether the body's first statement is
+// `if recv == nil { ... return ... }`.
+func startsWithNilGuard(pass *Pass, body *ast.BlockStmt, recvObj types.Object) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	bin, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && pass.Info.Uses[id] == recvObj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if !(isRecv(bin.X) && isNil(bin.Y) || isNil(bin.X) && isRecv(bin.Y)) {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, isReturn := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// checkRegistryCallers flags dereferences and field selections on
+// possibly-nil registry values outside the obs package.
+func checkRegistryCallers(pass *Pass, f *ast.File, inObs bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.StarExpr:
+			// *reg copies the struct through a possibly-nil pointer.
+			// Distinguish expression deref from the type *Registry.
+			if tv, ok := pass.Info.Types[x.X]; ok && !tv.IsType() && isRegistryType(tv.Type) {
+				if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+					pass.Reportf(x.Pos(), "dereference of possibly-nil registry; registries are passed as pointers and used via methods")
+				}
+			}
+		case *ast.SelectorExpr:
+			if inObs {
+				return true // methods legitimately touch fields after their guard
+			}
+			selection, ok := pass.Info.Selections[x]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			if tv, ok := pass.Info.Types[x.X]; ok && isRegistryType(tv.Type) {
+				pass.Reportf(x.Pos(), "field access on possibly-nil registry; use registry methods, which are nil-safe")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,142 @@
+package lint
+
+// Run drives the whole suite over package patterns -- the multichecker
+// entry point cmd/rekeylint and the driver tests share.
+
+import (
+	"fmt"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+)
+
+// Run loads every package matched by patterns (relative to modRoot;
+// "./..." walks the tree, "./dir" names one package) and applies the
+// analyzers, returning the surviving diagnostics sorted by position.
+// Test files are included. Directories named testdata are skipped by
+// the ... expansion but can be named explicitly -- that is how the
+// driver test points the binary at a known-bad tree.
+func Run(modRoot string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loader, err := NewLoader(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	loader.IncludeTests = true
+	dirs, err := expandPatterns(modRoot, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		path, err := importPathFor(modRoot, loader.ModPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs, err := loader.Packages(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, pkg := range pkgs {
+			ds, err := RunAnalyzers(pkg, loader.Fset, analyzers)
+			if err != nil {
+				return nil, err
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+// RunAnalyzers applies the analyzers to one loaded package and filters
+// the findings through the package's //rekeylint:ignore directives.
+func RunAnalyzers(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Path:     strings.TrimSuffix(pkg.Path, ".test"),
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	return applyIgnores(fset, pkg.Files, diags), nil
+}
+
+// expandPatterns resolves package patterns to package directories.
+func expandPatterns(modRoot string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		root := filepath.Join(modRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !recursive {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.go"))
+	return len(matches) > 0
+}
+
+// importPathFor maps a directory back to its import path in the module.
+func importPathFor(modRoot, modPath, dir string) (string, error) {
+	rel, err := filepath.Rel(modRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		return modPath, nil
+	}
+	if strings.HasPrefix(rel, "../") {
+		return "", fmt.Errorf("lint: %s is outside the module", dir)
+	}
+	return modPath + "/" + rel, nil
+}

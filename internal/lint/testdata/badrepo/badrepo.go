@@ -1,0 +1,16 @@
+// Package badrepo is a known-bad module: the driver test points
+// cmd/rekeylint at it and expects a non-zero exit. Its module root
+// counts as a key-path package, so the math/rand import is a finding,
+// and the == sentinel comparison is a second one.
+package badrepo
+
+import (
+	"errors"
+	"math/rand"
+)
+
+var ErrBoom = errors.New("badrepo: boom")
+
+func Roll() int { return rand.Intn(6) }
+
+func IsBoom(err error) bool { return err == ErrBoom }

@@ -1,0 +1,3 @@
+module badrepo
+
+go 1.24

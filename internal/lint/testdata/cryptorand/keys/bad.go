@@ -1,0 +1,27 @@
+// Fixture: loaded under repro/internal/keys, so the cryptorand
+// analyzer treats it as a key-material package.
+package keys
+
+import (
+	"math/rand" // want "key-path package imports math/rand"
+	"time"
+)
+
+// NewGenerator seeds from the wall clock, which makes key material
+// guessable; both the import and the seed are findings.
+func NewGenerator() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeding randomness from the wall clock"
+}
+
+func newDeterministicStream(seed int64) int64 { return seed }
+
+// SeedFromClock smuggles the clock through a deterministic-generator
+// constructor.
+func SeedFromClock() int64 {
+	return newDeterministicStream(time.Now().Unix()) // want "seeding randomness from the wall clock"
+}
+
+// SeedExplicit passes a caller-chosen seed; that is the allowed shape.
+func SeedExplicit(seed int64) int64 {
+	return newDeterministicStream(seed)
+}

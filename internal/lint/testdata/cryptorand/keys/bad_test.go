@@ -1,0 +1,12 @@
+package keys
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Test files are exempt: deterministic and clock seeds are fine in
+// fixtures and benchmarks.
+func testHelperSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}

@@ -1,0 +1,14 @@
+// Fixture: loaded under repro/internal/sim, which is not a key-path
+// package; simulation loss processes may use math/rand freely.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from a clock-seeded PRNG; fine outside key paths.
+func Jitter() float64 {
+	r := rand.New(rand.NewSource(time.Now().UnixNano()))
+	return r.Float64()
+}

@@ -1,0 +1,66 @@
+// Fixture for ctxfirst: context placement and the blocking-API rule.
+package cf
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Serve blocks but takes ctx first: the required shape.
+func Serve(ctx context.Context, ch chan int) {
+	select {
+	case <-ctx.Done():
+	case <-ch:
+	}
+}
+
+// Publish misplaces its context (wrong anywhere, exported or not).
+func Publish(name string, ctx context.Context) { // want "context.Context must be the first parameter"
+	_ = name
+	_ = ctx
+}
+
+// Fanout spawns goroutines and waits with no way to cancel.
+func Fanout(n int) { // want "does not take a context.Context first parameter"
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { wg.Done() }()
+	}
+	wg.Wait()
+}
+
+// Retry sleeps, which also demands a context.
+func Retry() { // want "does not take a context.Context first parameter"
+	time.Sleep(time.Millisecond)
+}
+
+// drain is unexported: blocking internals are the caller's concern.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// Conn.Close blocks but io.Closer fixes that signature; exempt.
+type Conn struct{ done chan struct{} }
+
+func (c *Conn) Close() error {
+	<-c.done
+	return nil
+}
+
+// Sum is exported but never blocks in its own body; no context needed.
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Spawn only defines a closure that would block; the closure may never
+// run in this call, so the function itself is not flagged.
+func Spawn() func() {
+	return func() { time.Sleep(time.Millisecond) }
+}

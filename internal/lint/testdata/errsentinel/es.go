@@ -1,0 +1,58 @@
+// Fixture for errsentinel: sentinels are returned wrapped, so direct
+// comparisons silently break.
+package es
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStale and ErrBadPacket mirror the repo's wrapped sentinels.
+var (
+	ErrStale     = errors.New("es: stale")
+	ErrBadPacket = errors.New("es: bad packet")
+)
+
+func do(n int) error {
+	if n < 0 {
+		return fmt.Errorf("%w: n=%d", ErrStale, n)
+	}
+	return nil
+}
+
+// IsStale uses ==, which misses the wrapped form do returns.
+func IsStale(err error) bool {
+	return err == ErrStale // want "ErrStale is compared with =="
+}
+
+// NotStale uses != with the sentinel on the left.
+func NotStale(err error) bool {
+	return ErrStale != err // want "ErrStale is compared with !="
+}
+
+// Classify switches on the error, which compares cases with ==.
+func Classify(err error) int {
+	switch err {
+	case ErrStale: // want "switch case compares ErrStale"
+		return 1
+	case ErrBadPacket: // want "switch case compares ErrBadPacket"
+		return 2
+	}
+	return 0
+}
+
+// OK is the required shape.
+func OK(err error) bool {
+	return errors.Is(err, ErrStale)
+}
+
+// Happened compares to nil, which is not a sentinel comparison.
+func Happened(err error) bool {
+	return err != nil
+}
+
+// local Err-named variables are not sentinels.
+func local() bool {
+	ErrTmp := errors.New("tmp")
+	return ErrTmp == nil
+}

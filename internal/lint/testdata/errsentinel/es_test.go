@@ -1,0 +1,7 @@
+package es
+
+// errsentinel deliberately covers test files: the last == holdouts in
+// the repo hid in tests.
+func checkStale(err error) bool {
+	return err == ErrStale // want "ErrStale is compared with =="
+}

@@ -1,0 +1,75 @@
+// Fixture for hotpathalloc: only //rekeylint:hotpath bodies are
+// checked, and each hidden-allocation construct is a finding.
+package hp
+
+import "fmt"
+
+func sink(v any) { _ = v }
+
+//rekeylint:hotpath
+func hotAppend(dst, src []byte) []byte {
+	for _, b := range src {
+		dst = append(dst, b) // want "append in hot path"
+	}
+	return dst
+}
+
+//rekeylint:hotpath
+func hotLiterals(n int) int {
+	m := map[int]int{n: n} // want "map literal in hot path"
+	s := []int{n}          // want "slice literal in hot path"
+	return m[n] + s[0]
+}
+
+//rekeylint:hotpath
+func hotClosure(n int) int {
+	f := func() int { return n } // want "closure in hot path"
+	return f()
+}
+
+//rekeylint:hotpath
+func hotFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want "fmt.Sprintf in hot path allocates"
+}
+
+//rekeylint:hotpath
+func hotBox(n int) {
+	sink(n) // want "argument boxes into interface parameter"
+}
+
+//rekeylint:hotpath
+func hotConvert(n int) any {
+	return any(n) // want "conversion to interface type"
+}
+
+//rekeylint:hotpath
+func hotVariadicPassThrough(vs []any) {
+	variadic(vs...) // s... passes the existing slice; no per-element boxing
+}
+
+func variadic(vs ...any) { _ = vs }
+
+// hotOK shows the allowed shapes: copies into pre-sized buffers,
+// builtin calls, and panics with static messages.
+//
+//rekeylint:hotpath
+func hotOK(dst, src []byte) int {
+	n := copy(dst, src)
+	if len(dst) == 0 {
+		panic("hp: empty dst")
+	}
+	return n
+}
+
+// hotIgnored carries a reviewed suppression; the finding is dropped.
+//
+//rekeylint:hotpath
+func hotIgnored(dst []byte, b byte) []byte {
+	return append(dst, b) //rekeylint:ignore caller pre-sizes dst capacity
+}
+
+// coldPath is unannotated; the same constructs are fine here.
+func coldPath(n int) string {
+	s := []int{n}
+	return fmt.Sprintf("%v", append(s, n))
+}

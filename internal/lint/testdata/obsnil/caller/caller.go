@@ -1,0 +1,20 @@
+// Fixture: code outside internal/obs must treat a registry pointer as
+// possibly nil and only go through its (nil-safe) methods.
+package caller
+
+import "repro/internal/obs"
+
+// Count calls methods; methods carry their own nil guards.
+func Count(r *obs.Registry) {
+	r.Inc("count")
+}
+
+// Clone dereferences a possibly-nil pointer to copy the struct.
+func Clone(r *obs.Registry) obs.Registry {
+	return *r // want "dereference of possibly-nil registry"
+}
+
+// Toggle pokes a field directly, bypassing the guard.
+func Toggle(r *obs.Registry) {
+	r.Debug = true // want "field access on possibly-nil registry"
+}

@@ -1,0 +1,46 @@
+// Fixture: a miniature of internal/obs. Loaded under
+// repro/internal/obs so the analyzer applies the in-package rules.
+package obs
+
+import "sync"
+
+// Registry mirrors the real registry: every method must stay safe on a
+// nil receiver so unobserved pipelines pay only the nil check.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	// Debug is exported only so the caller fixture can exercise the
+	// outside-the-package field-access check.
+	Debug bool
+}
+
+// Add guards, then touches fields: the required shape.
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.counters == nil {
+		r.counters = make(map[string]int64)
+	}
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Inc forwards to a guarded method and touches no fields itself; it
+// needs no guard of its own.
+func (r *Registry) Inc(name string) {
+	r.Add(name, 1)
+}
+
+// Reset touches fields with no guard.
+func (r *Registry) Reset(name string) { // want "touches receiver fields without the leading"
+	r.mu.Lock()
+	delete(r.counters, name)
+	r.mu.Unlock()
+}
+
+// Size uses a value receiver, which breaks the nil contract outright.
+func (r Registry) Size() int { // want "value receiver"
+	return len(r.counters)
+}

@@ -236,8 +236,8 @@ type Registry struct {
 
 	trace struct {
 		mu   sync.Mutex
-		buf  []Event
-		next uint64 // total events emitted; buf slot = next % len(buf)
+		buf  []Event // guarded by mu
+		next uint64  // guarded by mu; total emitted, buf slot = next % len(buf)
 	}
 }
 
@@ -266,9 +266,13 @@ func NewWithDepth(depth int) *Registry {
 
 // Enabled reports whether the registry records anything. Use it to gate
 // work done solely to compute an observation (e.g. time.Now pairs).
+//
+//rekeylint:hotpath
 func (r *Registry) Enabled() bool { return r != nil }
 
 // Add increments counter c by n.
+//
+//rekeylint:hotpath
 func (r *Registry) Add(c Counter, n int64) {
 	if r == nil {
 		return
@@ -277,9 +281,13 @@ func (r *Registry) Add(c Counter, n int64) {
 }
 
 // Inc increments counter c by one.
+//
+//rekeylint:hotpath
 func (r *Registry) Inc(c Counter) { r.Add(c, 1) }
 
 // CounterValue returns counter c's current value (0 on nil).
+//
+//rekeylint:hotpath
 func (r *Registry) CounterValue(c Counter) int64 {
 	if r == nil {
 		return 0
@@ -288,6 +296,8 @@ func (r *Registry) CounterValue(c Counter) int64 {
 }
 
 // Set stores gauge g.
+//
+//rekeylint:hotpath
 func (r *Registry) Set(g Gauge, v float64) {
 	if r == nil {
 		return
@@ -296,6 +306,8 @@ func (r *Registry) Set(g Gauge, v float64) {
 }
 
 // GaugeValue returns gauge g's current value (0 on nil).
+//
+//rekeylint:hotpath
 func (r *Registry) GaugeValue(g Gauge) float64 {
 	if r == nil {
 		return 0
@@ -304,6 +316,8 @@ func (r *Registry) GaugeValue(g Gauge) float64 {
 }
 
 // Observe records v into histogram h.
+//
+//rekeylint:hotpath
 func (r *Registry) Observe(h Hist, v float64) {
 	if r == nil {
 		return
@@ -328,6 +342,8 @@ func (r *Registry) Observe(h Hist, v float64) {
 // ObserveSince records the seconds elapsed since start into h. start is
 // typically taken only when Enabled() -- on a nil registry this is a
 // no-op regardless.
+//
+//rekeylint:hotpath
 func (r *Registry) ObserveSince(h Hist, start time.Time) {
 	if r == nil {
 		return
@@ -409,16 +425,21 @@ type Snapshot struct {
 	Histograms    map[string]HistSnapshot `json:"histograms"`
 }
 
-// Snapshot captures every metric. Safe (and empty) on nil.
-func (r *Registry) Snapshot() Snapshot {
-	s := Snapshot{
+// emptySnapshot allocates the map-initialized zero snapshot.
+func emptySnapshot() Snapshot {
+	return Snapshot{
 		Counters:   make(map[string]int64, int(numCounters)),
 		Gauges:     make(map[string]float64, int(numGauges)),
 		Histograms: make(map[string]HistSnapshot, int(numHists)),
 	}
+}
+
+// Snapshot captures every metric. Safe (and empty) on nil.
+func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
-		return s
+		return emptySnapshot()
 	}
+	s := emptySnapshot()
 	s.UptimeSeconds = time.Since(r.start).Seconds()
 	for c := Counter(0); c < numCounters; c++ {
 		s.Counters[counterNames[c]] = r.counters[c].Load()

@@ -9,6 +9,7 @@ package protocol
 // serial per-block encode regardless of worker count.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -28,12 +29,14 @@ type BlockParity struct {
 // fanning the per-block Coder.EncodeAll calls across min(workers,
 // blocks) goroutines; workers <= 0 means GOMAXPROCS. Result [b][i] is
 // parity packet First+i of reqs[b]. The first per-block error aborts
-// the whole call.
+// the whole call. Cancelling ctx stops workers between blocks and
+// returns ctx.Err(); a million-member parity precompute is long enough
+// that shutdown must be able to interrupt it.
 //
 // The Coder is shared, not copied: it is safe for concurrent use, so
 // several rekey messages may encode through one Coder from concurrent
 // EncodeBlocks calls.
-func EncodeBlocks(c *fec.Coder, reqs []BlockParity, workers int) ([][][]byte, error) {
+func EncodeBlocks(ctx context.Context, c *fec.Coder, reqs []BlockParity, workers int) ([][][]byte, error) {
 	workers = tuning.ResolveWorkers(workers)
 	if workers > len(reqs) {
 		workers = len(reqs)
@@ -54,6 +57,10 @@ func EncodeBlocks(c *fec.Coder, reqs []BlockParity, workers int) ([][][]byte, er
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			for b := lo; b < hi; b++ {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
 				p, err := c.EncodeAll(reqs[b].Data, reqs[b].First, reqs[b].N)
 				if err != nil {
 					errs[w] = fmt.Errorf("protocol: encode block %d: %w", b, err)

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -49,7 +50,7 @@ func TestEncodeBlocksDeterministic(t *testing.T) {
 			t.Fatal(err)
 		}
 		reqs := makeReqs(rng, tc.blocks, tc.k, 256, tc.rho)
-		serial, err := EncodeBlocks(c, reqs, 1)
+		serial, err := EncodeBlocks(context.Background(), c, reqs, 1)
 		if err != nil {
 			t.Fatalf("serial EncodeBlocks(%+v): %v", tc, err)
 		}
@@ -65,7 +66,7 @@ func TestEncodeBlocksDeterministic(t *testing.T) {
 			}
 		}
 		for _, workers := range []int{0, 2, 3, 4, 8, 64} {
-			got, err := EncodeBlocks(c, reqs, workers)
+			got, err := EncodeBlocks(context.Background(), c, reqs, workers)
 			if err != nil {
 				t.Fatalf("EncodeBlocks(workers=%d): %v", workers, err)
 			}
@@ -85,19 +86,19 @@ func TestEncodeBlocksDeterministic(t *testing.T) {
 
 func TestEncodeBlocksEmptyAndErrors(t *testing.T) {
 	c, _ := fec.NewCoder(4, 4)
-	out, err := EncodeBlocks(c, nil, 4)
+	out, err := EncodeBlocks(context.Background(), c, nil, 4)
 	if err != nil || len(out) != 0 {
 		t.Fatalf("empty request list: out=%v err=%v", out, err)
 	}
 	rng := rand.New(rand.NewPCG(12, 12))
 	reqs := makeReqs(rng, 4, 4, 64, 1.5)
 	reqs[2].N = 99 // out of range for maxParity=4
-	if _, err := EncodeBlocks(c, reqs, 2); err == nil {
+	if _, err := EncodeBlocks(context.Background(), c, reqs, 2); err == nil {
 		t.Fatal("out-of-range parity request did not error")
 	}
 	reqs[2].N = 2
 	reqs[2].Data = reqs[2].Data[:3] // short block
-	if _, err := EncodeBlocks(c, reqs, 2); err == nil {
+	if _, err := EncodeBlocks(context.Background(), c, reqs, 2); err == nil {
 		t.Fatal("short block did not error")
 	}
 }
@@ -122,7 +123,7 @@ func TestEncodeBlocksSharedCoderConcurrent(t *testing.T) {
 	for m := range all {
 		rng := rand.New(rand.NewPCG(uint64(m), 99))
 		all[m].reqs = makeReqs(rng, 5+m, k, 256, 1.5)
-		all[m].want, err = EncodeBlocks(coder, all[m].reqs, 1)
+		all[m].want, err = EncodeBlocks(context.Background(), coder, all[m].reqs, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,7 +134,7 @@ func TestEncodeBlocksSharedCoderConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func(m int) {
 			defer wg.Done()
-			got, err := EncodeBlocks(coder, all[m].reqs, 4)
+			got, err := EncodeBlocks(context.Background(), coder, all[m].reqs, 4)
 			if err != nil {
 				errc <- err
 				return
@@ -173,7 +174,7 @@ func BenchmarkEncodeBlocksWorkers(b *testing.B) {
 		b.Run(fmt.Sprintf("%dw", workers), func(b *testing.B) {
 			b.SetBytes(int64(blocks * k * plen))
 			for i := 0; i < b.N; i++ {
-				if _, err := EncodeBlocks(coder, reqs, workers); err != nil {
+				if _, err := EncodeBlocks(context.Background(), coder, reqs, workers); err != nil {
 					b.Fatal(err)
 				}
 			}

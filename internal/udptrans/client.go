@@ -37,7 +37,7 @@ type Client struct {
 	Obs *obs.Registry
 
 	mu     sync.Mutex
-	closed bool
+	closed bool // guarded by mu
 	done   chan struct{}
 }
 

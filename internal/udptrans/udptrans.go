@@ -28,7 +28,7 @@ type Server struct {
 	obs  *obs.Registry // shared with ks; nil when unobserved
 
 	mu    sync.Mutex
-	addrs map[rekey.MemberID]*net.UDPAddr
+	addrs map[rekey.MemberID]*net.UDPAddr // guarded by mu
 
 	// lastAmax carries the previous round's per-block parity demand;
 	// Distribute is single-flight per server.
@@ -198,7 +198,7 @@ func (s *Server) Distribute(ctx context.Context, rm *rekey.RekeyMessage, opts Op
 		// After either branch, nextParity[b] is the total parity prefix
 		// this round's refs reach into; generate it across all blocks in
 		// parallel so multicastRefs hits the cache.
-		if err := rm.PrecomputeParity(nextParity, tun.Workers); err != nil {
+		if err := rm.PrecomputeParity(ctx, nextParity, tun.Workers); err != nil {
 			return st, err
 		}
 		if err := s.multicastRefs(ctx, rm, refs, opts.SendInterval, st); err != nil {

@@ -57,13 +57,13 @@ type IngestResult struct {
 // arrive in any order. Member is safe for concurrent use.
 type Member struct {
 	mu    sync.Mutex
-	view  *keytree.UserView
+	view  *keytree.UserView // guarded by mu
 	k     int
 	coder *fec.Coder
-	cur   *msgAssembly
+	cur   *msgAssembly // guarded by mu
 	// scratch holds the k decode output buffers, reused across blocks
 	// and messages via fec.DecodeInto.
-	scratch [][]byte
+	scratch [][]byte // guarded by mu
 }
 
 // msgAssembly accumulates one rekey message's shards.
@@ -151,28 +151,28 @@ func (m *Member) Ingest(raw []byte) (IngestResult, error) {
 		if err != nil {
 			return IngestResult{Kind: typ, Block: -1, Seq: -1}, fmt.Errorf("%w: %v", ErrBadPacket, err)
 		}
-		return m.ingestENC(p, raw)
+		return m.ingestENCLocked(p, raw)
 	case packet.TypePARITY:
 		p, err := packet.ParsePARITY(raw)
 		if err != nil {
 			return IngestResult{Kind: typ, Block: -1, Seq: -1}, fmt.Errorf("%w: %v", ErrBadPacket, err)
 		}
-		return m.ingestPARITY(p)
+		return m.ingestPARITYLocked(p)
 	case packet.TypeUSR:
 		p, err := packet.ParseUSR(raw)
 		if err != nil {
 			return IngestResult{Kind: typ, Block: -1, Seq: -1}, fmt.Errorf("%w: %v", ErrBadPacket, err)
 		}
-		return m.ingestUSR(p)
+		return m.ingestUSRLocked(p)
 	default:
 		return IngestResult{Kind: typ, Block: -1, Seq: -1},
 			fmt.Errorf("%w: member received %v packet", ErrBadPacket, typ)
 	}
 }
 
-// assembly returns the current assembly, starting a fresh one when a
+// assemblyLocked returns the current assembly, starting a fresh one when a
 // new message ID appears.
-func (m *Member) assembly(msgID uint8) *msgAssembly {
+func (m *Member) assemblyLocked(msgID uint8) *msgAssembly {
 	if m.cur == nil || m.cur.msgID != msgID {
 		m.cur = &msgAssembly{
 			msgID:  msgID,
@@ -183,9 +183,9 @@ func (m *Member) assembly(msgID uint8) *msgAssembly {
 	return m.cur
 }
 
-func (m *Member) ingestENC(p *packet.ENC, raw []byte) (IngestResult, error) {
+func (m *Member) ingestENCLocked(p *packet.ENC, raw []byte) (IngestResult, error) {
 	res := IngestResult{Kind: packet.TypeENC, MsgID: p.MsgID, Block: int(p.BlockID), Seq: int(p.Seq)}
-	a := m.assembly(p.MsgID)
+	a := m.assemblyLocked(p.MsgID)
 	if a.done {
 		return res, ErrStale
 	}
@@ -211,23 +211,23 @@ func (m *Member) ingestENC(p *packet.ENC, raw []byte) (IngestResult, error) {
 			MaxKID: int(p.MaxKID),
 		}, m.k, m.view.D)
 	}
-	res.Duplicate = !m.store(a, int(p.BlockID), int(p.Seq), raw[packet.FECOffset:])
-	return m.tryDecode(a, res)
+	res.Duplicate = !m.storeLocked(a, int(p.BlockID), int(p.Seq), raw[packet.FECOffset:])
+	return m.tryDecodeLocked(a, res)
 }
 
-func (m *Member) ingestPARITY(p *packet.PARITY) (IngestResult, error) {
+func (m *Member) ingestPARITYLocked(p *packet.PARITY) (IngestResult, error) {
 	res := IngestResult{Kind: packet.TypePARITY, MsgID: p.MsgID, Block: int(p.BlockID), Seq: int(p.Seq)}
-	a := m.assembly(p.MsgID)
+	a := m.assemblyLocked(p.MsgID)
 	if a.done {
 		return res, ErrStale
 	}
-	res.Duplicate = !m.store(a, int(p.BlockID), int(p.Seq), p.Payload)
-	return m.tryDecode(a, res)
+	res.Duplicate = !m.storeLocked(a, int(p.BlockID), int(p.Seq), p.Payload)
+	return m.tryDecodeLocked(a, res)
 }
 
-func (m *Member) ingestUSR(p *packet.USR) (IngestResult, error) {
+func (m *Member) ingestUSRLocked(p *packet.USR) (IngestResult, error) {
 	res := IngestResult{Kind: packet.TypeUSR, MsgID: p.MsgID, Block: -1, Seq: -1}
-	a := m.assembly(p.MsgID)
+	a := m.assemblyLocked(p.MsgID)
 	if a.done {
 		return res, ErrStale
 	}
@@ -242,8 +242,8 @@ func (m *Member) ingestUSR(p *packet.USR) (IngestResult, error) {
 	return res, nil
 }
 
-// store records a shard and reports whether it was new.
-func (m *Member) store(a *msgAssembly, block, seq int, payload []byte) bool {
+// storeLocked records a shard and reports whether it was new.
+func (m *Member) storeLocked(a *msgAssembly, block, seq int, payload []byte) bool {
 	blk := a.shards[block]
 	if blk == nil {
 		blk = make(map[int][]byte)
@@ -256,10 +256,10 @@ func (m *Member) store(a *msgAssembly, block, seq int, payload []byte) bool {
 	return true
 }
 
-// tryDecode attempts FEC recovery of every candidate block inside the
+// tryDecodeLocked attempts FEC recovery of every candidate block inside the
 // estimated block-ID range that holds at least k shards; a decoded
 // block that contains the member's packet completes recovery.
-func (m *Member) tryDecode(a *msgAssembly, res IngestResult) (IngestResult, error) {
+func (m *Member) tryDecodeLocked(a *msgAssembly, res IngestResult) (IngestResult, error) {
 	lo := a.est.Low
 	if lo < 0 {
 		lo = 0

@@ -30,6 +30,7 @@
 package rekey
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -93,15 +94,16 @@ func (c Config) withDefaults() Config {
 // Server is the group key server: registration, key management and
 // rekey message construction. It is safe for concurrent use.
 type Server struct {
-	mu      sync.Mutex
-	cfg     Config
-	obs     *obs.Registry
-	tree    *keytree.Tree
-	joins   []MemberID
-	leaves  []MemberID
-	queued  map[MemberID]bool
-	msgSeq  uint8
-	lastMsg *RekeyMessage
+	mu  sync.Mutex
+	cfg Config
+	obs *obs.Registry
+	// The group state below is guarded by mu.
+	tree    *keytree.Tree     // guarded by mu
+	joins   []MemberID        // guarded by mu
+	leaves  []MemberID        // guarded by mu
+	queued  map[MemberID]bool // guarded by mu
+	msgSeq  uint8             // guarded by mu
+	lastMsg *RekeyMessage     // guarded by mu
 }
 
 // NewServer creates a server with an empty group.
@@ -286,16 +288,17 @@ type RekeyMessage struct {
 	obs    *obs.Registry
 
 	mu     sync.Mutex
-	coder  *fec.Coder
-	data   [][][]byte // per block: k FEC payloads, built lazily
-	parity [][][]byte // per block: parity payloads 0..len-1 generated so far
+	coder  *fec.Coder // guarded by mu
+	data   [][][]byte // guarded by mu; per block: k FEC payloads, built lazily
+	parity [][][]byte // guarded by mu; per block: parity payloads generated so far
 }
 
 // Blocks returns the number of FEC blocks.
 func (rm *RekeyMessage) Blocks() int { return rm.Part.NumBlocks() }
 
-// ensureCoder initialises the lazy FEC state. Callers hold rm.mu.
-func (rm *RekeyMessage) ensureCoder() error {
+// ensureCoderLocked initialises the lazy FEC state; the Locked suffix
+// records that callers hold rm.mu.
+func (rm *RekeyMessage) ensureCoderLocked() error {
 	if rm.coder != nil {
 		return nil
 	}
@@ -309,9 +312,9 @@ func (rm *RekeyMessage) ensureCoder() error {
 	return nil
 }
 
-// blockData materialises (once) the FEC payloads of one block.
+// blockDataLocked materialises (once) the FEC payloads of one block.
 // Callers hold rm.mu.
-func (rm *RekeyMessage) blockData(block int) ([][]byte, error) {
+func (rm *RekeyMessage) blockDataLocked(block int) ([][]byte, error) {
 	if rm.data[block] == nil {
 		payloads := make([][]byte, rm.k)
 		for s := 0; s < rm.k; s++ {
@@ -346,7 +349,7 @@ func (rm *RekeyMessage) parityPacket(block, idx int, payload []byte) (*packet.PA
 func (rm *RekeyMessage) Parity(block, idx int) (*packet.PARITY, error) {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
-	if err := rm.ensureCoder(); err != nil {
+	if err := rm.ensureCoderLocked(); err != nil {
 		return nil, err
 	}
 	if block < 0 || block >= rm.Blocks() {
@@ -357,7 +360,7 @@ func (rm *RekeyMessage) Parity(block, idx int) (*packet.PARITY, error) {
 	}
 	if idx >= len(rm.parity[block]) {
 		rm.obs.Inc(obs.CParityCacheMiss)
-		data, err := rm.blockData(block)
+		data, err := rm.blockDataLocked(block)
 		if err != nil {
 			return nil, err
 		}
@@ -379,10 +382,12 @@ func (rm *RekeyMessage) Parity(block, idx int) (*packet.PARITY, error) {
 // lookups. The per-block encodes fan out across a bounded worker pool
 // (workers <= 0 means GOMAXPROCS); the cached bytes are identical to
 // what serial Parity calls would produce. counts may be shorter than
-// the block count; missing entries mean zero.
-func (rm *RekeyMessage) PrecomputeParity(counts []int, workers int) error {
+// the block count; missing entries mean zero. Cancelling ctx abandons
+// the remaining encodes and returns ctx.Err(); already-cached parity
+// stays cached.
+func (rm *RekeyMessage) PrecomputeParity(ctx context.Context, counts []int, workers int) error {
 	rm.mu.Lock()
-	if err := rm.ensureCoder(); err != nil {
+	if err := rm.ensureCoderLocked(); err != nil {
 		rm.mu.Unlock()
 		return err
 	}
@@ -401,7 +406,7 @@ func (rm *RekeyMessage) PrecomputeParity(counts []int, workers int) error {
 			rm.mu.Unlock()
 			return fmt.Errorf("rekey: block %d wants %d parity packets, max %d", b, want, rm.coder.MaxParity())
 		}
-		data, err := rm.blockData(b)
+		data, err := rm.blockDataLocked(b)
 		if err != nil {
 			rm.mu.Unlock()
 			return err
@@ -420,7 +425,7 @@ func (rm *RekeyMessage) PrecomputeParity(counts []int, workers int) error {
 
 	// Encode outside the lock: the coder and the materialised block data
 	// are read-only from here on.
-	outs, err := protocol.EncodeBlocks(rm.coder, reqs, workers)
+	outs, err := protocol.EncodeBlocks(ctx, rm.coder, reqs, workers)
 	if err != nil {
 		return err
 	}

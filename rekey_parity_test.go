@@ -7,6 +7,7 @@ package rekey_test
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
@@ -47,7 +48,7 @@ func TestPrecomputeParityMatchesSerial(t *testing.T) {
 	for b := range counts {
 		counts[b] = 3 + b%5
 	}
-	if err := pre.PrecomputeParity(counts, 4); err != nil {
+	if err := pre.PrecomputeParity(context.Background(), counts, 4); err != nil {
 		t.Fatal(err)
 	}
 	for b := 0; b < blocks; b++ {
@@ -111,7 +112,7 @@ func TestParityConcurrentCallers(t *testing.T) {
 				for b := range counts {
 					counts[b] = 1 + (b+g)%perBlock
 				}
-				if err := rm.PrecomputeParity(counts, 2); err != nil {
+				if err := rm.PrecomputeParity(context.Background(), counts, 2); err != nil {
 					errc <- err
 					return
 				}
@@ -141,16 +142,16 @@ func TestParityConcurrentCallers(t *testing.T) {
 func TestPrecomputeParityErrors(t *testing.T) {
 	rm, _ := twoMessages(t, 64)
 	tooMany := make([]int, rm.Blocks()+1)
-	if err := rm.PrecomputeParity(tooMany, 2); err == nil {
+	if err := rm.PrecomputeParity(context.Background(), tooMany, 2); err == nil {
 		t.Error("counts longer than block count accepted")
 	}
 	huge := make([]int, rm.Blocks())
 	huge[0] = 1 << 10
-	if err := rm.PrecomputeParity(huge, 2); err == nil {
+	if err := rm.PrecomputeParity(context.Background(), huge, 2); err == nil {
 		t.Error("count beyond MaxParity accepted")
 	}
 	// nil / short counts are fine and do nothing.
-	if err := rm.PrecomputeParity(nil, 2); err != nil {
+	if err := rm.PrecomputeParity(context.Background(), nil, 2); err != nil {
 		t.Errorf("nil counts: %v", err)
 	}
 }

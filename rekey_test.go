@@ -1,6 +1,7 @@
 package rekey
 
 import (
+	"errors"
 	"math/rand/v2"
 	"testing"
 
@@ -89,7 +90,7 @@ func TestServerValidation(t *testing.T) {
 	if _, err := s.Rekey(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Rekey(); err != ErrNoChange {
+	if _, err := s.Rekey(); !errors.Is(err, ErrNoChange) {
 		t.Errorf("empty rekey error = %v, want ErrNoChange", err)
 	}
 	if err := s.QueueLeave(5); err != nil {
