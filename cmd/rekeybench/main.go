@@ -5,19 +5,69 @@
 //	rekeybench -list
 //	rekeybench -exp f9-nacks-vs-rho
 //	rekeybench -exp all [-quick] [-messages 25] [-seed 1]
+//	rekeybench -scenario [-quick] [-scenario.out EXPERIMENTS.md]
+//	rekeybench -scenario.check
 //
 // Each experiment prints one text table per figure: series blocks of
 // "x<TAB>y" rows, the same series the corresponding paper figure plots.
+// -scenario runs the adversarial churn suite (flash crowd, diurnal,
+// partition-rejoin, adversarial leave) under a matrix of network
+// impairments with invariant oracles active, and prints (or writes into
+// the "Scenarios beyond the paper" section of -scenario.out) a markdown
+// comparison table. -scenario.check runs the quick-scale matrix as a
+// pass/fail regression guard for CI.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
+
+// scenarioMarker delimits the generated table inside -scenario.out.
+const (
+	scenarioBegin = "<!-- scenario-table:begin -->"
+	scenarioEnd   = "<!-- scenario-table:end -->"
+)
+
+func runScenarioSuite(opts experiments.Options, outFile string) error {
+	start := time.Now()
+	cells := experiments.RunScenarioSuite(opts)
+	table := experiments.ScenarioMarkdown(cells)
+	fail := 0
+	for _, c := range cells {
+		if !c.OK {
+			fail++
+		}
+	}
+	if outFile == "" {
+		fmt.Printf("# scenario suite — %d cells, %d failing, %v\n\n%s", len(cells), fail, time.Since(start).Round(time.Millisecond), table)
+	} else {
+		raw, err := os.ReadFile(outFile)
+		if err != nil {
+			return err
+		}
+		doc := string(raw)
+		lo := strings.Index(doc, scenarioBegin)
+		hi := strings.Index(doc, scenarioEnd)
+		if lo < 0 || hi < 0 || hi < lo {
+			return fmt.Errorf("%s: markers %q/%q not found", outFile, scenarioBegin, scenarioEnd)
+		}
+		doc = doc[:lo+len(scenarioBegin)] + "\n" + table + doc[hi:]
+		if err := os.WriteFile(outFile, []byte(doc), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("# scenario suite — %d cells, %d failing, %v; table written to %s\n", len(cells), fail, time.Since(start).Round(time.Millisecond), outFile)
+	}
+	if fail > 0 {
+		return fmt.Errorf("%d scenario cells failed", fail)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -26,8 +76,28 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced sweep sizes for a fast pass")
 		messages = flag.Int("messages", 0, "rekey messages per configuration (default 25, 6 with -quick)")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		scenario = flag.Bool("scenario", false, "run the adversarial churn scenario suite")
+		scenOut  = flag.String("scenario.out", "", "write the scenario table into this file (between scenario-table markers)")
+		scenChk  = flag.Bool("scenario.check", false, "quick-scale scenario matrix as a pass/fail regression guard")
 	)
 	flag.Parse()
+
+	if *scenChk {
+		if err := experiments.ScenarioCheck(experiments.Options{Seed: *seed}); err != nil {
+			fmt.Fprintf(os.Stderr, "rekeybench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("scenario check: all cells pass")
+		return
+	}
+	if *scenario {
+		opts := experiments.Options{Seed: *seed, Quick: *quick}
+		if err := runScenarioSuite(opts, *scenOut); err != nil {
+			fmt.Fprintf(os.Stderr, "rekeybench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScenarioMatrix runs every scenario x impairment cell at quick
+// scale and requires all three oracles to pass in each.
+func TestScenarioMatrix(t *testing.T) {
+	opts := Options{Quick: true, Seed: 7}
+	for _, ss := range ScenarioSpecs() {
+		for _, is := range ImpairmentSpecs() {
+			ss, is := ss, is
+			t.Run(ss.ID+"/"+is.ID, func(t *testing.T) {
+				t.Parallel()
+				cell := runScenarioCell(ss, is, opts.fill())
+				if cell.Err != "" {
+					t.Fatalf("cell failed: %s", cell.Err)
+				}
+				if !cell.OK {
+					t.Fatalf("cell not OK: %+v", cell)
+				}
+				if cell.Violations != 0 {
+					t.Fatalf("%d oracle violations", cell.Violations)
+				}
+				if cell.Rekeys == 0 || cell.Checks == 0 {
+					t.Fatalf("vacuous cell: rekeys=%d checks=%d", cell.Rekeys, cell.Checks)
+				}
+				// Every rekeyed interval ran one batch check and one
+				// recovery check.
+				if cell.Checks != int64(2*cell.Rekeys) {
+					t.Fatalf("checks=%d, want %d (2 per rekey)", cell.Checks, 2*cell.Rekeys)
+				}
+			})
+		}
+	}
+}
+
+// TestScenarioCellDeterministic runs one cell twice with the same seed
+// and requires identical rendered rows.
+func TestScenarioCellDeterministic(t *testing.T) {
+	opts := Options{Quick: true, Seed: 13}.fill()
+	ss := ScenarioSpecs()[0]
+	is := ImpairmentSpecs()[1] // correlated: exercises cluster links too
+	a := ScenarioMarkdown([]ScenarioCell{runScenarioCell(ss, is, opts)})
+	b := ScenarioMarkdown([]ScenarioCell{runScenarioCell(ss, is, opts)})
+	if a != b {
+		t.Fatalf("cell not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestScenarioMarkdownShape(t *testing.T) {
+	cells := []ScenarioCell{
+		{Scenario: "s", Impairment: "i", Rekeys: 1, OK: true},
+		{Scenario: "s", Impairment: "j", Err: "boom"},
+	}
+	md := ScenarioMarkdown(cells)
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[2], "PASS") || !strings.Contains(lines[3], "FAIL: boom") {
+		t.Fatalf("verdicts wrong:\n%s", md)
+	}
+}
+
+func TestScenarioCheck(t *testing.T) {
+	if err := ScenarioCheck(Options{Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package keytree
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// FuzzMarkingAdversarial feeds the marking algorithm byte-driven
+// sequences of batches whose leave sets follow adversarial patterns
+// (strided, prefix, suffix, scattered), checking after every batch that
+// the tree invariant holds and that no key a leaver held survives --
+// the tree-level statement of forward secrecy.
+func FuzzMarkingAdversarial(f *testing.F) {
+	f.Add([]byte{3, 40, 1, 8, 0, 10, 4, 1, 20, 0, 2, 5})
+	f.Add([]byte{1, 200, 7, 0, 3, 99, 0, 2, 50, 16, 1, 3, 0, 0, 1})
+	f.Add([]byte{5, 16, 9, 2, 2, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		d := int(data[0]%7) + 2
+		base := int(data[1]) + 2
+		tr := New(d, keys.NewDeterministicGenerator(uint64(data[2])+1))
+		joins := make([]Member, base)
+		for i := range joins {
+			joins[i] = Member(i)
+		}
+		if _, err := tr.ProcessBatch(joins, nil); err != nil {
+			t.Fatal(err)
+		}
+		next := Member(base)
+
+		// Key values any past leaver ever held. Keys are fresh CSPRNG (here
+		// deterministic-stream) output, so no value may legitimately recur.
+		departed := make(map[keys.Key]bool)
+
+		rounds := 0
+		for i := 3; i+2 < len(data) && rounds < 8; i, rounds = i+3, rounds+1 {
+			nj := int(data[i] % 32)
+			pattern := data[i+1] % 4
+			live := tr.Members()
+			nl := int(data[i+2]) % len(live) // keep >=1 member
+			if nj == 0 && nl == 0 {
+				continue
+			}
+
+			leaves := make([]Member, 0, nl)
+			switch pattern {
+			case 0: // strided: maximally disjoint paths
+				if nl > 0 {
+					stride := float64(len(live)) / float64(nl)
+					for j := 0; j < nl; j++ {
+						leaves = append(leaves, live[int(float64(j)*stride)])
+					}
+				}
+			case 1: // prefix: one side of the tree
+				leaves = append(leaves, live[:nl]...)
+			case 2: // suffix: the most recently placed region
+				leaves = append(leaves, live[len(live)-nl:]...)
+			default: // scattered by a byte-derived odd step
+				step := int(data[i+1]/4)*2 + 1
+				for j, idx := 0, 0; j < nl; j, idx = j+1, (idx+step)%len(live) {
+					leaves = append(leaves, live[idx])
+				}
+				leaves = dedupMembers(leaves)
+			}
+
+			joins = joins[:0]
+			for j := 0; j < nj; j++ {
+				joins = append(joins, next)
+				next++
+			}
+
+			// Record every key each leaver currently holds: its individual
+			// key and the k-node keys up its path.
+			for _, m := range leaves {
+				uid, ok := tr.UserID(m)
+				if !ok {
+					t.Fatalf("leaver %d not in tree", m)
+				}
+				for id := uid; id >= 0; id = ParentID(d, id) {
+					if k, _, ok := tr.NodeKey(id); ok {
+						departed[k] = true
+					}
+				}
+			}
+
+			if _, err := tr.ProcessBatch(joins, leaves); err != nil {
+				t.Fatalf("round %d (d=%d, j=%d, l=%d, pattern=%d): %v",
+					rounds, d, nj, len(leaves), pattern, err)
+			}
+			if err := tr.CheckInvariant(); err != nil {
+				t.Fatalf("round %d: invariant: %v", rounds, err)
+			}
+			// Forward secrecy at the tree level: no surviving node may hold
+			// a key any departed member ever held.
+			violations := 0
+			tr.ForEachKNode(func(id int, k keys.Key) {
+				if departed[k] {
+					violations++
+				}
+			})
+			for _, m := range tr.Members() {
+				if k, ok := tr.IndividualKey(m); ok && departed[k] {
+					violations++
+				}
+			}
+			if violations > 0 {
+				t.Fatalf("round %d: %d surviving nodes hold departed keys", rounds, violations)
+			}
+		}
+	})
+}
+
+// dedupMembers removes duplicates preserving first occurrence.
+func dedupMembers(ms []Member) []Member {
+	seen := make(map[Member]bool, len(ms))
+	out := ms[:0]
+	for _, m := range ms {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}

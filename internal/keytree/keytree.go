@@ -255,6 +255,31 @@ func (t *Tree) PathKeys(m Member) (map[int]keys.Key, bool) {
 	return out, true
 }
 
+// NodeKey returns the key held at node id and the node's kind. ok is
+// false for n-nodes and out-of-range IDs (which hold no key). Invariant
+// oracles use it to resolve an Encryption's wrapping (child) key.
+func (t *Tree) NodeKey(id int) (keys.Key, NodeKind, bool) {
+	if id < 0 || id >= len(t.nodes) {
+		return keys.Key{}, NNode, false
+	}
+	n := &t.nodes[id]
+	if n.kind == NNode {
+		return keys.Key{}, NNode, false
+	}
+	return n.key, n.kind, true
+}
+
+// ForEachKNode calls fn for every current k-node in ascending ID order.
+// Forward-secrecy oracles sweep the live auxiliary keys through it
+// without materialising a map.
+func (t *Tree) ForEachKNode(fn func(id int, k keys.Key)) {
+	for id := range t.nodes {
+		if t.nodes[id].kind == KNode {
+			fn(id, t.nodes[id].key)
+		}
+	}
+}
+
 // kindOf is a bounds-tolerant accessor: IDs beyond the allocated slice
 // are n-nodes of the conceptual infinite expansion.
 func (t *Tree) kindOf(id int) NodeKind {

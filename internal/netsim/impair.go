@@ -1,0 +1,191 @@
+// Byte-level packet impairments: duplication, reordering and a composed
+// Mangler combining them with Gilbert burst loss. These operate on
+// opaque packets (not simulated indices) so real transports -- e.g. the
+// udptrans client's receive path -- can be exercised under adversarial
+// network behaviour deterministically from a seed.
+
+package netsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// DupLink duplicates packets independently with probability PDup: each
+// offered packet is delivered once, plus one extra copy with that
+// probability. It models a routing flap or a retransmitting middlebox.
+type DupLink struct {
+	rng  *rand.Rand
+	pDup float64
+}
+
+// NewDupLink returns a link duplicating with probability pDup in [0,1).
+func NewDupLink(pDup float64, rng *rand.Rand) (*DupLink, error) {
+	if pDup < 0 || pDup >= 1 {
+		return nil, fmt.Errorf("netsim: duplication rate %v outside [0,1)", pDup)
+	}
+	return &DupLink{rng: rng, pDup: pDup}, nil
+}
+
+// Copies returns how many copies of the next packet are delivered
+// (1 or 2).
+func (l *DupLink) Copies() int {
+	if l.pDup > 0 && l.rng.Float64() < l.pDup {
+		return 2
+	}
+	return 1
+}
+
+// ReorderLink reorders packets by holding some back: with probability
+// PReorder an offered packet is queued and released after HoldFor
+// subsequent packets have passed it, so it arrives late but is never
+// lost. HoldFor must be >= 1.
+type ReorderLink struct {
+	rng      *rand.Rand
+	pReorder float64
+	holdFor  int
+	// held[i] are packets waiting for i+1 more passing packets before
+	// release (index 0 releases next).
+	held [][]byte
+}
+
+// NewReorderLink returns a link reordering with probability pReorder in
+// [0,1), holding reordered packets back past holdFor later packets.
+func NewReorderLink(pReorder float64, holdFor int, rng *rand.Rand) (*ReorderLink, error) {
+	if pReorder < 0 || pReorder >= 1 {
+		return nil, fmt.Errorf("netsim: reorder rate %v outside [0,1)", pReorder)
+	}
+	if holdFor < 1 {
+		return nil, fmt.Errorf("netsim: reorder hold %d < 1", holdFor)
+	}
+	return &ReorderLink{rng: rng, pReorder: pReorder, holdFor: holdFor, held: make([][]byte, holdFor)}, nil
+}
+
+// Offer presents one packet to the link and returns the packets that
+// come out the far end in arrival order: possibly none (the packet was
+// held back), possibly several (the packet plus previously held packets
+// now due).
+func (l *ReorderLink) Offer(pkt []byte) [][]byte {
+	var out [][]byte
+	if l.pReorder > 0 && l.rng.Float64() < l.pReorder {
+		// Hold the packet behind holdFor future packets; anything already
+		// in the slot leaves now to bound queueing.
+		if due := l.held[l.holdFor-1]; due != nil {
+			out = append(out, due)
+		}
+		l.held[l.holdFor-1] = pkt
+	} else {
+		out = append(out, pkt)
+	}
+	// One packet has passed: everything held moves a slot closer.
+	if due := l.held[0]; due != nil {
+		out = append(out, due)
+	}
+	copy(l.held, l.held[1:])
+	l.held[l.holdFor-1] = nil
+	return out
+}
+
+// Flush releases every held packet, oldest first. Use it when the
+// stream ends so that no packet is silently dropped.
+func (l *ReorderLink) Flush() [][]byte {
+	var out [][]byte
+	for i, p := range l.held {
+		if p != nil {
+			out = append(out, p)
+			l.held[i] = nil
+		}
+	}
+	return out
+}
+
+// MangleConfig configures a composed byte-level impairment chain.
+type MangleConfig struct {
+	Loss     float64 // Gilbert stationary loss rate, [0,1)
+	Reorder  float64 // per-packet reorder probability, [0,1)
+	HoldFor  int     // packets a reordered packet is held behind (>=1 if Reorder>0)
+	Dup      float64 // per-packet duplication probability, [0,1)
+	Interval float64 // seconds of virtual time between offered packets (>0 if Loss>0)
+}
+
+// Mangler composes burst loss, reordering and duplication into a single
+// deterministic per-seed impairment: loss first (a dropped packet cannot
+// be reordered or duplicated), then reordering, then duplication of
+// whatever emerges.
+type Mangler struct {
+	cfg     MangleConfig
+	loss    *GilbertLink
+	reorder *ReorderLink
+	dup     *DupLink
+	now     float64
+}
+
+// NewMangler builds a Mangler from cfg, deriving independent random
+// streams for each stage from seed.
+func NewMangler(cfg MangleConfig, seed uint64) (*Mangler, error) {
+	m := &Mangler{cfg: cfg}
+	if cfg.Loss > 0 {
+		if cfg.Interval <= 0 {
+			return nil, fmt.Errorf("netsim: mangler Interval %v must be > 0 with loss", cfg.Interval)
+		}
+		link, err := NewGilbertLink(cfg.Loss, rand.New(rand.NewPCG(seed, 0x10555)))
+		if err != nil {
+			return nil, err
+		}
+		m.loss = link
+	}
+	if cfg.Reorder > 0 {
+		hold := cfg.HoldFor
+		if hold < 1 {
+			hold = 1
+		}
+		link, err := NewReorderLink(cfg.Reorder, hold, rand.New(rand.NewPCG(seed, 0x5EC0)))
+		if err != nil {
+			return nil, err
+		}
+		m.reorder = link
+	}
+	if cfg.Dup > 0 {
+		link, err := NewDupLink(cfg.Dup, rand.New(rand.NewPCG(seed, 0xD0B1E)))
+		if err != nil {
+			return nil, err
+		}
+		m.dup = link
+	}
+	return m, nil
+}
+
+// Mangle presents one packet to the chain and returns what arrives, in
+// order: zero packets (lost or held), or one or more (with duplicates
+// and/or released held packets).
+func (m *Mangler) Mangle(pkt []byte) [][]byte {
+	if m.loss != nil {
+		m.now += m.cfg.Interval
+		if m.loss.Lost(m.now) {
+			return nil
+		}
+	}
+	surviving := [][]byte{pkt}
+	if m.reorder != nil {
+		surviving = m.reorder.Offer(pkt)
+	}
+	if m.dup == nil {
+		return surviving
+	}
+	out := make([][]byte, 0, len(surviving))
+	for _, p := range surviving {
+		for i := m.dup.Copies(); i > 0; i-- {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Flush releases packets still held by the reordering stage. Duplication
+// is not applied to flushed packets.
+func (m *Mangler) Flush() [][]byte {
+	if m.reorder == nil {
+		return nil
+	}
+	return m.reorder.Flush()
+}

@@ -42,7 +42,7 @@ const BurstMean = 0.100
 // NewGilbertLink returns a link with loss rate p in [0,1), using the
 // given random stream. The chain starts in its stationary distribution.
 func NewGilbertLink(p float64, rng *rand.Rand) (*GilbertLink, error) {
-	if p < 0 || p >= 1 {
+	if math.IsNaN(p) || p < 0 || p >= 1 {
 		return nil, fmt.Errorf("netsim: loss rate %v outside [0,1)", p)
 	}
 	l := &GilbertLink{rng: rng, p: p, meanLoss: BurstMean}
@@ -86,7 +86,11 @@ func (l *GilbertLink) Lost(t float64) bool {
 // LossRate returns the configured stationary loss rate.
 func (l *GilbertLink) LossRate() float64 { return l.p }
 
-// StarConfig describes the paper's evaluation topology.
+// StarConfig describes the paper's evaluation topology, optionally
+// extended with correlated loss: users partitioned into clusters that
+// share one aggregation link each, so a burst on a cluster link claims
+// the same packets for every user behind it (a regional outage), on top
+// of -- and composable with -- their independent Gilbert receiver links.
 type StarConfig struct {
 	N       int     // number of users
 	Alpha   float64 // fraction of users behind high-loss links
@@ -94,6 +98,11 @@ type StarConfig struct {
 	PLow    float64 // receiver-link loss rate for the rest
 	PSource float64 // source-link loss rate
 	Seed    uint64  // master seed; per-link streams derive from it
+	// Clusters, when > 0, partitions users round-robin into this many
+	// clusters, each behind a shared Gilbert aggregation link with loss
+	// rate PCluster. Zero disables correlated loss (the paper's setup).
+	Clusters int
+	PCluster float64
 }
 
 // DefaultStar returns the paper's default parameters for N users:
@@ -109,6 +118,10 @@ type Star struct {
 	Recv   []*GilbertLink
 	// HighLoss reports which users sit behind high-loss links.
 	HighLoss []bool
+	// Cluster holds the shared aggregation links (empty when correlated
+	// loss is disabled); ClusterOf maps each user to its cluster.
+	Cluster   []*GilbertLink
+	ClusterOf []int
 }
 
 // NewStar builds the topology. Which users are high-loss is a uniform
@@ -120,10 +133,13 @@ func NewStar(cfg StarConfig) (*Star, error) {
 	if cfg.Alpha < 0 || cfg.Alpha > 1 {
 		return nil, fmt.Errorf("netsim: alpha = %v outside [0,1]", cfg.Alpha)
 	}
-	for _, p := range []float64{cfg.PHigh, cfg.PLow, cfg.PSource} {
+	for _, p := range []float64{cfg.PHigh, cfg.PLow, cfg.PSource, cfg.PCluster} {
 		if p < 0 || p >= 1 {
 			return nil, fmt.Errorf("netsim: loss rate %v outside [0,1)", p)
 		}
+	}
+	if cfg.Clusters < 0 {
+		return nil, fmt.Errorf("netsim: Clusters = %d", cfg.Clusters)
 	}
 	s := &Star{cfg: cfg, Recv: make([]*GilbertLink, cfg.N), HighLoss: make([]bool, cfg.N)}
 	src, err := NewGilbertLink(cfg.PSource, rand.New(rand.NewPCG(cfg.Seed, 0xA11CE)))
@@ -148,6 +164,20 @@ func NewStar(cfg StarConfig) (*Star, error) {
 		}
 		s.Recv[u] = link
 	}
+	if cfg.Clusters > 0 {
+		s.Cluster = make([]*GilbertLink, cfg.Clusters)
+		for c := range s.Cluster {
+			link, err := NewGilbertLink(cfg.PCluster, rand.New(rand.NewPCG(cfg.Seed, 0xC1A5+uint64(c))))
+			if err != nil {
+				return nil, err
+			}
+			s.Cluster[c] = link
+		}
+		s.ClusterOf = make([]int, cfg.N)
+		for u := range s.ClusterOf {
+			s.ClusterOf[u] = u % cfg.Clusters
+		}
+	}
 	return s, nil
 }
 
@@ -165,7 +195,20 @@ func (s *Star) MulticastRound(times []float64) *RoundDelivery {
 	for i, t := range times {
 		srcLost[i] = s.Source.Lost(t)
 	}
-	return &RoundDelivery{star: s, times: times, srcLost: srcLost}
+	// Cluster-link outcomes are shared state, so like the source link they
+	// are computed once up front; per-user fan-out then stays data-race
+	// free and deterministic regardless of evaluation order.
+	var cluLost [][]bool
+	if len(s.Cluster) > 0 {
+		cluLost = make([][]bool, len(s.Cluster))
+		for c, link := range s.Cluster {
+			cluLost[c] = make([]bool, len(times))
+			for i, t := range times {
+				cluLost[c][i] = link.Lost(t)
+			}
+		}
+	}
+	return &RoundDelivery{star: s, times: times, srcLost: srcLost, cluLost: cluLost}
 }
 
 // RoundDelivery is the outcome of one multicast round on the source link
@@ -174,6 +217,7 @@ type RoundDelivery struct {
 	star    *Star
 	times   []float64
 	srcLost []bool
+	cluLost [][]bool // per cluster, per packet; nil without clusters
 }
 
 // Received returns the indices of the round's packets that user u
@@ -182,9 +226,16 @@ type RoundDelivery struct {
 // concurrently.
 func (rd *RoundDelivery) Received(u int) []int {
 	link := rd.star.Recv[u]
+	var clu []bool
+	if rd.cluLost != nil {
+		clu = rd.cluLost[rd.star.ClusterOf[u]]
+	}
 	out := make([]int, 0, len(rd.times))
 	for i, t := range rd.times {
 		if rd.srcLost[i] {
+			continue
+		}
+		if clu != nil && clu[i] {
 			continue
 		}
 		if !link.Lost(t) {
@@ -195,7 +246,13 @@ func (rd *RoundDelivery) Received(u int) []int {
 }
 
 // Unicast reports whether a single packet sent to user u at time t is
-// delivered (crossing source and receiver links).
+// delivered (crossing source, cluster and receiver links).
 func (s *Star) Unicast(u int, t float64) bool {
-	return !s.Source.Lost(t) && !s.Recv[u].Lost(t)
+	if s.Source.Lost(t) {
+		return false
+	}
+	if len(s.Cluster) > 0 && s.Cluster[s.ClusterOf[u]].Lost(t) {
+		return false
+	}
+	return !s.Recv[u].Lost(t)
 }

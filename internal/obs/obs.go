@@ -76,34 +76,45 @@ const (
 	// freshly inverted (loss patterns repeat across blocks in a burst).
 	CDecodeCacheHit
 	CDecodeCacheMiss
+	// Scenario harness side.
+	// CScenarioSteps counts churn batches a scenario driver applied.
+	CScenarioSteps
+	// COracleChecks counts invariant-oracle batch verifications run;
+	// COracleViolations counts checks that found a protocol invariant
+	// broken (forward secrecy, key consistency or a recovery bound).
+	COracleChecks
+	COracleViolations
 
 	numCounters
 )
 
 var counterNames = [numCounters]string{
-	CRekeys:          "rekeys",
-	CJoins:           "joins",
-	CLeaves:          "leaves",
-	CEncSent:         "enc_sent",
-	CParitySent:      "parity_sent",
-	CUsrSent:         "usr_sent",
-	CNACKRecv:        "nack_recv",
-	CNACKIgnored:     "nack_ignored",
-	CParityCacheHit:  "parity_cache_hit",
-	CParityCacheMiss: "parity_cache_miss",
-	CUnicastWaves:    "unicast_waves",
-	CKeysGenerated:   "keys_generated",
-	CWraps:           "wraps",
-	CWrapNs:          "wrap_ns",
-	CEncRecv:         "enc_recv",
-	CParityRecv:      "parity_recv",
-	CUsrRecv:         "usr_recv",
-	CNACKSent:        "nack_sent",
-	CIngestStale:     "ingest_stale",
-	CIngestErrors:    "ingest_errors",
-	CFECRecoveries:   "fec_recoveries",
-	CDecodeCacheHit:  "decode_cache_hit",
-	CDecodeCacheMiss: "decode_cache_miss",
+	CRekeys:           "rekeys",
+	CJoins:            "joins",
+	CLeaves:           "leaves",
+	CEncSent:          "enc_sent",
+	CParitySent:       "parity_sent",
+	CUsrSent:          "usr_sent",
+	CNACKRecv:         "nack_recv",
+	CNACKIgnored:      "nack_ignored",
+	CParityCacheHit:   "parity_cache_hit",
+	CParityCacheMiss:  "parity_cache_miss",
+	CUnicastWaves:     "unicast_waves",
+	CKeysGenerated:    "keys_generated",
+	CWraps:            "wraps",
+	CWrapNs:           "wrap_ns",
+	CEncRecv:          "enc_recv",
+	CParityRecv:       "parity_recv",
+	CUsrRecv:          "usr_recv",
+	CNACKSent:         "nack_sent",
+	CIngestStale:      "ingest_stale",
+	CIngestErrors:     "ingest_errors",
+	CFECRecoveries:    "fec_recoveries",
+	CDecodeCacheHit:   "decode_cache_hit",
+	CDecodeCacheMiss:  "decode_cache_miss",
+	CScenarioSteps:    "scenario_steps",
+	COracleChecks:     "oracle_checks",
+	COracleViolations: "oracle_violations",
 }
 
 // Gauge identifies a last-value-wins measurement.

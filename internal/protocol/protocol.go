@@ -261,6 +261,18 @@ func NewSession(cfg Config, net *netsim.Star, seed uint64) (*Session, error) {
 // Rho returns the proactivity factor the next message will use.
 func (s *Session) Rho() float64 { return s.rho }
 
+// Rebind swaps the session's network while carrying the adaptive state
+// (rho, the NACK target) across the change. Scenario harnesses use it:
+// churn changes the group size every interval, so each rekey message
+// runs on a freshly built star sized to the post-batch membership while
+// the server-side controllers persist, as they do in a real key server.
+// The simulation clock restarts at zero so the new links begin in their
+// stationary state.
+func (s *Session) Rebind(net *netsim.Star) {
+	s.net = net
+	s.now = 0
+}
+
 // NumNACK returns the current first-round NACK target.
 func (s *Session) NumNACK() int { return s.numNACK }
 

@@ -28,6 +28,12 @@ type Client struct {
 	// lossy receiver link.
 	Drop func(pkt []byte) bool
 
+	// Mangle, when non-nil, is a test-only impairment hook applied after
+	// Drop: each received packet is replaced by the slice of packets it
+	// returns (empty = lost, several = duplicated and/or reordered
+	// arrivals released together). See netsim.Mangler.
+	Mangle func(pkt []byte) [][]byte
+
 	// QuietGap is how long the packet stream must pause before the
 	// client concludes a round ended and emits a NACK.
 	QuietGap time.Duration
@@ -139,10 +145,18 @@ func (c *Client) Run(ctx context.Context) error {
 		if c.Drop != nil && c.Drop(pkt) {
 			continue
 		}
-		// Copy: Ingest retains payload slices.
-		res, err := c.Member.Ingest(append([]byte(nil), pkt...))
-		if c.Obs.Enabled() {
-			c.record(res, err)
+		arrivals := [][]byte{pkt}
+		if c.Mangle != nil {
+			// Copy first: the mangler may hold the packet past the next
+			// read, which reuses buf.
+			arrivals = c.Mangle(append([]byte(nil), pkt...))
+		}
+		for _, p := range arrivals {
+			// Copy: Ingest retains payload slices.
+			res, err := c.Member.Ingest(append([]byte(nil), p...))
+			if c.Obs.Enabled() {
+				c.record(res, err)
+			}
 		}
 	}
 }

@@ -202,6 +202,16 @@ func (s *Server) Credentials(m MemberID) (Credentials, bool) {
 	}, true
 }
 
+// PathKeys returns the keys member m should hold after a completed
+// rekey: its individual key plus the key of every k-node on its path to
+// the root, keyed by node ID. Consistency oracles and end-to-end tests
+// compare recovered member state against it.
+func (s *Server) PathKeys(m MemberID) (map[int]keys.Key, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.PathKeys(m)
+}
+
 // ErrNoChange is returned by Rekey when no membership changes are
 // pending: no rekey message is needed.
 var ErrNoChange = errors.New("rekey: no pending membership changes")
