@@ -87,8 +87,9 @@ func BuildCapacity(res *keytree.BatchResult, capacity int) (*Plan, error) {
 		inCur = make(map[uint32]bool)
 	}
 
+	var needs []uint32 // reused per user: the path-walk is the UKA hot loop
 	for _, u := range users {
-		needs := res.UserNeedIDs(u)
+		needs = res.AppendUserNeedIDs(needs[:0], u)
 		if len(needs) == 0 {
 			continue // no key on this user's path changed
 		}

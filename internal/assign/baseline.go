@@ -42,9 +42,11 @@ func BuildBaseline(res *keytree.BatchResult, capacity int) (*BaselinePlan, error
 	if len(cur) > 0 {
 		plan.Packets = append(plan.Packets, cur)
 	}
+	var needs []uint32
 	for _, u := range res.UserIDs {
 		seen := map[int]bool{}
-		for _, id := range res.UserNeedIDs(u) {
+		needs = res.AppendUserNeedIDs(needs[:0], u)
+		for _, id := range needs {
 			pi, ok := where[id]
 			if !ok {
 				return nil, fmt.Errorf("assign: encryption %d missing from baseline plan", id)

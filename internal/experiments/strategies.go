@@ -1,0 +1,161 @@
+// Strategy race: every registered keytree placement strategy driven
+// through the full scenario x impairment matrix of scenarios.go with
+// the invariant oracles active, compared on the rekey workload it
+// induces -- encryptions, rekey payload bytes and batch latency.
+// cmd/rekeybench renders the result as the strategy comparison table in
+// EXPERIMENTS.md.
+
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/keys"
+	"repro/internal/keytree"
+	"repro/internal/workload"
+)
+
+// encWireBytes is the rekey payload cost of one encryption on the
+// wire: the node ID plus the wrapped key (AES block and truncated MAC).
+const encWireBytes = 4 + keys.WrappedSize
+
+// StrategyCell aggregates one (strategy, scenario) row of the race over
+// the whole impairment axis: the tree's evolution -- hence rekeys,
+// encryption counts and batch latency -- depends only on the churn
+// schedule, while the oracle checks and transport overheads accumulate
+// across all three network conditions.
+type StrategyCell struct {
+	Strategy string
+	Scenario string
+	Rekeys   int   // rekeying intervals per impairment run
+	Encs     int   // total encryptions per impairment run
+	Bytes    int64 // rekey payload bytes those encryptions cost
+	// MeanBatchUs is the mean ProcessBatch wall time per rekeying
+	// interval, microseconds, averaged over every impairment run.
+	MeanBatchUs float64
+	Overhead    float64 // mean transport bandwidth overhead h'/h
+	Checks      int64   // oracle checks across all impairments
+	Violations  int64   // oracle violations across all impairments
+	OK          bool
+	Err         string
+}
+
+// RunStrategySuite races every registered strategy through the full
+// scenario x impairment matrix and returns one aggregated cell per
+// (strategy, scenario), strategies in registry order, scenarios in
+// suite order.
+func RunStrategySuite(opts Options) []StrategyCell {
+	opts = opts.fill()
+	var out []StrategyCell
+	for _, name := range keytree.StrategyNames() {
+		for _, ss := range ScenarioSpecs() {
+			out = append(out, runStrategyRow(name, ss, opts))
+		}
+	}
+	return out
+}
+
+// runStrategyRow drives one strategy through one scenario under every
+// impairment and folds the runs into a StrategyCell.
+func runStrategyRow(name string, ss ScenarioSpec, opts Options) StrategyCell {
+	row := StrategyCell{Strategy: name, Scenario: ss.ID, OK: true}
+	var batchNs int64
+	var overheadSum float64
+	runs := 0
+	for _, is := range ImpairmentSpecs() {
+		strat, err := keytree.NewStrategy(name)
+		if err != nil {
+			row.OK, row.Err = false, err.Error()
+			return row
+		}
+		cell := runScenarioCell(ss, is, opts, workload.WithStrategy(strat))
+		// The churn schedule is seeded independently of the network, so
+		// every impairment run replays the identical tree evolution;
+		// record it once and flag any divergence as a failure.
+		if runs == 0 {
+			row.Rekeys, row.Encs = cell.Rekeys, cell.Encs
+		} else if cell.Encs != row.Encs || cell.Rekeys != row.Rekeys {
+			row.OK = false
+			row.Err = fmt.Sprintf("impairment %s diverged: %d encs / %d rekeys vs %d / %d",
+				is.ID, cell.Encs, cell.Rekeys, row.Encs, row.Rekeys)
+		}
+		batchNs += cell.BatchNs
+		overheadSum += cell.Overhead
+		row.Checks += cell.Checks
+		row.Violations += cell.Violations
+		if !cell.OK {
+			row.OK = false
+			if row.Err == "" {
+				row.Err = fmt.Sprintf("impairment %s: %s", is.ID, cell.Err)
+			}
+		}
+		runs++
+	}
+	row.Bytes = int64(row.Encs) * encWireBytes
+	if totalBatches := row.Rekeys * runs; totalBatches > 0 {
+		row.MeanBatchUs = float64(batchNs) / float64(totalBatches) / 1e3
+	}
+	if runs > 0 {
+		row.Overhead = overheadSum / float64(runs)
+	}
+	return row
+}
+
+// StrategyMarkdown renders the race as the markdown comparison table
+// embedded in EXPERIMENTS.md. The "vs paper" column is the strategy's
+// encryption count relative to the paper strategy on the same scenario.
+func StrategyMarkdown(cells []StrategyCell) string {
+	paperEncs := make(map[string]int)
+	for _, c := range cells {
+		if c.Strategy == keytree.StrategyPaper {
+			paperEncs[c.Scenario] = c.Encs
+		}
+	}
+	var b strings.Builder
+	b.WriteString("| strategy | scenario | rekeys | encryptions | payload bytes | vs paper | mean batch us | overhead h'/h | oracle checks | violations | verdict |\n")
+	b.WriteString("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---|\n")
+	for _, c := range cells {
+		vs := "-"
+		if p, ok := paperEncs[c.Scenario]; ok && p > 0 {
+			vs = fmt.Sprintf("%.3f", float64(c.Encs)/float64(p))
+		}
+		verdict := "PASS"
+		if !c.OK {
+			verdict = "FAIL"
+			if c.Err != "" {
+				verdict = "FAIL: " + c.Err
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %s | %d | %d | %d | %s | %.1f | %.3f | %d | %d | %s |\n",
+			c.Strategy, c.Scenario, c.Rekeys, c.Encs, c.Bytes, vs,
+			c.MeanBatchUs, c.Overhead, c.Checks, c.Violations, verdict)
+	}
+	return b.String()
+}
+
+// StrategyCheck runs the quick-scale race and returns an error if any
+// (strategy, scenario) row fails or sees an oracle violation -- the CI
+// regression guard behind rekeybench -strategy.check.
+func StrategyCheck(opts Options) error {
+	opts.Quick = true
+	cells := RunStrategySuite(opts)
+	var bad []string
+	seenPaper := false
+	for _, c := range cells {
+		if c.Strategy == keytree.StrategyPaper {
+			seenPaper = true
+		}
+		if !c.OK || c.Violations != 0 {
+			bad = append(bad, fmt.Sprintf("%s/%s: %s", c.Strategy, c.Scenario, c.Err))
+		}
+	}
+	if !seenPaper {
+		bad = append(bad, "paper strategy missing from registry")
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("strategy check: %d of %d rows failed:\n  %s",
+			len(bad), len(cells), strings.Join(bad, "\n  "))
+	}
+	return nil
+}

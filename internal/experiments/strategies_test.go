@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/keytree"
+	"repro/internal/oracle"
+	"repro/internal/workload"
+)
+
+// TestStrategiesUnderAdversarialLeave drives every registered placement
+// strategy through the colluding-leaver scenario with the full oracle
+// active: after every rekeying interval, each surviving member must be
+// able to reach the new group key from exactly the encryptions
+// addressed to it, and no evicted member may.
+func TestStrategiesUnderAdversarialLeave(t *testing.T) {
+	for _, name := range keytree.StrategyNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			strat, err := keytree.NewStrategy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scn := &workload.AdversarialLeave{Base: 512, Alpha: 0.5, At: 1, Total: 4}
+			dr, err := workload.NewDriver(scn, 4, 17, workload.WithStrategy(strat))
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := oracle.New(dr.Tree(), oracle.Config{MaxMulticastRounds: 2, MaxUnicastWaves: 50})
+			if err := o.Bootstrap(); err != nil {
+				t.Fatal(err)
+			}
+			batches := 0
+			for {
+				st, ok, err := dr.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				if st.Res == nil {
+					continue
+				}
+				batches++
+				if err := o.ObserveBatch(st.Res, st.Joins, st.Leaves); err != nil {
+					t.Fatalf("interval %d: %v", st.Interval, err)
+				}
+				if err := dr.Tree().CheckInvariant(); err != nil {
+					t.Fatalf("interval %d: %v", st.Interval, err)
+				}
+			}
+			if batches == 0 {
+				t.Fatal("scenario produced no rekeying intervals")
+			}
+		})
+	}
+}
+
+// TestStrategySuiteQuick runs the quick-scale race end to end and
+// sanity-checks the aggregated rows and the rendered table.
+func TestStrategySuiteQuick(t *testing.T) {
+	cells := RunStrategySuite(Options{Quick: true, Seed: 7})
+	wantRows := len(keytree.StrategyNames()) * len(ScenarioSpecs())
+	if len(cells) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(cells), wantRows)
+	}
+	for _, c := range cells {
+		if !c.OK {
+			t.Errorf("%s/%s failed: %s", c.Strategy, c.Scenario, c.Err)
+		}
+		if c.Violations != 0 {
+			t.Errorf("%s/%s: %d oracle violations", c.Strategy, c.Scenario, c.Violations)
+		}
+		if c.Rekeys == 0 || c.Encs == 0 || c.Checks == 0 {
+			t.Errorf("vacuous row %s/%s: %+v", c.Strategy, c.Scenario, c)
+		}
+		if c.Bytes != int64(c.Encs)*encWireBytes {
+			t.Errorf("%s/%s: bytes %d != encs %d * %d", c.Strategy, c.Scenario, c.Bytes, c.Encs, encWireBytes)
+		}
+	}
+	md := StrategyMarkdown(cells)
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	if len(lines) != wantRows+2 {
+		t.Fatalf("table has %d lines, want %d", len(lines), wantRows+2)
+	}
+	for _, c := range cells {
+		if c.Strategy == keytree.StrategyPaper && !strings.Contains(md, "| 1.000 |") {
+			t.Fatal("paper rows missing the 1.000 vs-paper ratio")
+		}
+	}
+}
+
+func TestStrategyCheck(t *testing.T) {
+	if err := StrategyCheck(Options{Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+}

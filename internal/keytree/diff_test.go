@@ -20,7 +20,7 @@ type diffPair struct {
 
 func newDiffPair(d int, seed uint64, workers int) *diffPair {
 	return &diffPair{
-		par: New(d, keys.NewDeterministicGenerator(seed)).SetWorkers(workers),
+		par: New(d, keys.NewDeterministicGenerator(seed), WithWorkers(workers)),
 		seq: New(d, keys.NewDeterministicGenerator(seed)),
 	}
 }

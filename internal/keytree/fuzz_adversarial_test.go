@@ -8,68 +8,36 @@ import (
 
 // FuzzMarkingAdversarial feeds the marking algorithm byte-driven
 // sequences of batches whose leave sets follow adversarial patterns
-// (strided, prefix, suffix, scattered), checking after every batch that
-// the tree invariant holds and that no key a leaver held survives --
-// the tree-level statement of forward secrecy.
+// (strided, prefix, suffix, scattered; see fuzzScript), checking after
+// every batch that the tree invariant holds and that no key a leaver
+// held survives -- the tree-level statement of forward secrecy.
 func FuzzMarkingAdversarial(f *testing.F) {
 	f.Add([]byte{3, 40, 1, 8, 0, 10, 4, 1, 20, 0, 2, 5})
 	f.Add([]byte{1, 200, 7, 0, 3, 99, 0, 2, 50, 16, 1, 3, 0, 0, 1})
 	f.Add([]byte{5, 16, 9, 2, 2, 8})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if len(data) < 3 {
+		script, ok := parseFuzzScript(data)
+		if !ok {
 			return
 		}
-		d := int(data[0]%7) + 2
-		base := int(data[1]) + 2
-		tr := New(d, keys.NewDeterministicGenerator(uint64(data[2])+1))
-		joins := make([]Member, base)
+		tr := New(script.d, keys.NewDeterministicGenerator(script.seed))
+		joins := make([]Member, script.base)
 		for i := range joins {
 			joins[i] = Member(i)
 		}
 		if _, err := tr.ProcessBatch(joins, nil); err != nil {
 			t.Fatal(err)
 		}
-		next := Member(base)
+		next := Member(script.base)
 
 		// Key values any past leaver ever held. Keys are fresh CSPRNG (here
 		// deterministic-stream) output, so no value may legitimately recur.
 		departed := make(map[keys.Key]bool)
 
-		rounds := 0
-		for i := 3; i+2 < len(data) && rounds < 8; i, rounds = i+3, rounds+1 {
-			nj := int(data[i] % 32)
-			pattern := data[i+1] % 4
-			live := tr.Members()
-			nl := int(data[i+2]) % len(live) // keep >=1 member
-			if nj == 0 && nl == 0 {
+		for r := 0; r < script.rounds(); r++ {
+			joins, leaves := script.churn(r, tr.Members(), &next)
+			if len(joins) == 0 && len(leaves) == 0 {
 				continue
-			}
-
-			leaves := make([]Member, 0, nl)
-			switch pattern {
-			case 0: // strided: maximally disjoint paths
-				if nl > 0 {
-					stride := float64(len(live)) / float64(nl)
-					for j := 0; j < nl; j++ {
-						leaves = append(leaves, live[int(float64(j)*stride)])
-					}
-				}
-			case 1: // prefix: one side of the tree
-				leaves = append(leaves, live[:nl]...)
-			case 2: // suffix: the most recently placed region
-				leaves = append(leaves, live[len(live)-nl:]...)
-			default: // scattered by a byte-derived odd step
-				step := int(data[i+1]/4)*2 + 1
-				for j, idx := 0, 0; j < nl; j, idx = j+1, (idx+step)%len(live) {
-					leaves = append(leaves, live[idx])
-				}
-				leaves = dedupMembers(leaves)
-			}
-
-			joins = joins[:0]
-			for j := 0; j < nj; j++ {
-				joins = append(joins, next)
-				next++
 			}
 
 			// Record every key each leaver currently holds: its individual
@@ -79,7 +47,7 @@ func FuzzMarkingAdversarial(f *testing.F) {
 				if !ok {
 					t.Fatalf("leaver %d not in tree", m)
 				}
-				for id := uid; id >= 0; id = ParentID(d, id) {
+				for id := uid; id >= 0; id = ParentID(script.d, id) {
 					if k, _, ok := tr.NodeKey(id); ok {
 						departed[k] = true
 					}
@@ -87,11 +55,11 @@ func FuzzMarkingAdversarial(f *testing.F) {
 			}
 
 			if _, err := tr.ProcessBatch(joins, leaves); err != nil {
-				t.Fatalf("round %d (d=%d, j=%d, l=%d, pattern=%d): %v",
-					rounds, d, nj, len(leaves), pattern, err)
+				t.Fatalf("round %d (d=%d, j=%d, l=%d): %v",
+					r, script.d, len(joins), len(leaves), err)
 			}
 			if err := tr.CheckInvariant(); err != nil {
-				t.Fatalf("round %d: invariant: %v", rounds, err)
+				t.Fatalf("round %d: invariant: %v", r, err)
 			}
 			// Forward secrecy at the tree level: no surviving node may hold
 			// a key any departed member ever held.
@@ -107,7 +75,7 @@ func FuzzMarkingAdversarial(f *testing.F) {
 				}
 			}
 			if violations > 0 {
-				t.Fatalf("round %d: %d surviving nodes hold departed keys", rounds, violations)
+				t.Fatalf("round %d: %d surviving nodes hold departed keys", r, violations)
 			}
 		}
 	})

@@ -12,11 +12,15 @@
 // rederivation by which a user computes its post-batch ID from its old ID
 // and the maximum current k-node ID alone.
 //
-// ProcessBatch is the marking algorithm of Appendix B: it applies J join
-// and L leave requests collected over a rekey interval, relabels the
-// rekey subtree (Unchanged/Join/Leave/Replace), generates new keys for
-// every updated k-node, and emits one encryption {parentKey}_childKey per
-// rekey-subtree edge, bottom-up -- the workload handed to rekey transport.
+// ProcessBatch applies J join and L leave requests collected over a
+// rekey interval, relabels the rekey subtree
+// (Unchanged/Join/Leave/Replace), generates new keys for every updated
+// k-node, and emits one encryption {parentKey}_childKey per
+// rekey-subtree edge, bottom-up -- the workload handed to rekey
+// transport. Batch placement and marking are pluggable: a TreeStrategy
+// (see strategy.go) decides where joiners land and which subtrees
+// rekey; the default PaperMarking strategy is the marking algorithm of
+// the paper's Appendix B.
 package keytree
 
 import (
@@ -114,10 +118,15 @@ type Tree struct {
 	// reg receives pipeline metrics (keys generated, wraps, wrap ns);
 	// nil costs only a nil check.
 	reg *obs.Registry
+	// strat owns batch placement and marking; never nil (defaults to
+	// PaperMarking).
+	strat Strategy
 }
 
 // SetLite toggles lite mode (see the lite field). Returns the tree for
 // chaining.
+//
+// Deprecated: pass WithLite to New instead.
 func (t *Tree) SetLite(lite bool) *Tree {
 	t.lite = lite
 	return t
@@ -125,6 +134,8 @@ func (t *Tree) SetLite(lite bool) *Tree {
 
 // SetWorkers bounds the worker pool of the parallel batch pipeline;
 // n <= 0 means GOMAXPROCS. Returns the tree for chaining.
+//
+// Deprecated: pass WithWorkers to New instead.
 func (t *Tree) SetWorkers(n int) *Tree {
 	t.workers = n
 	return t
@@ -132,27 +143,38 @@ func (t *Tree) SetWorkers(n int) *Tree {
 
 // SetObs attaches a metrics registry (nil detaches). Returns the tree
 // for chaining.
+//
+// Deprecated: pass WithObs to New instead.
 func (t *Tree) SetObs(r *obs.Registry) *Tree {
 	t.reg = r
 	return t
 }
 
-// New returns an empty key tree of the given degree (d >= 2).
-func New(d int, gen *keys.Generator) *Tree {
+// New returns an empty key tree of the given degree (d >= 2), using the
+// PaperMarking placement strategy unless WithStrategy overrides it.
+func New(d int, gen *keys.Generator, opts ...Option) *Tree {
 	if d < 2 {
 		panic(fmt.Sprintf("keytree: degree %d < 2", d))
 	}
 	if gen == nil {
 		gen = keys.NewGenerator()
 	}
-	return &Tree{
+	t := &Tree{
 		d:      d,
 		height: 1,
 		nodes:  make([]node, fullSize(d, 1)),
 		loc:    make(map[Member]int),
 		gen:    gen,
+		strat:  PaperMarking{},
 	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
 }
+
+// StrategyName returns the name of the tree's placement strategy.
+func (t *Tree) StrategyName() string { return t.strat.Name() }
 
 // fullSize returns the node count of a full, balanced tree of the given
 // degree and height: (d^(h+1)-1)/(d-1).
@@ -380,7 +402,7 @@ func (t *Tree) CheckInvariant() error {
 // that many trials can apply independent batches to identical starting
 // states.
 func (t *Tree) Clone() *Tree {
-	n := &Tree{d: t.d, height: t.height, gen: t.gen, lite: t.lite, workers: t.workers, reg: t.reg}
+	n := &Tree{d: t.d, height: t.height, gen: t.gen, lite: t.lite, workers: t.workers, reg: t.reg, strat: t.strat}
 	n.nodes = append([]node(nil), t.nodes...)
 	n.uids = append([]int(nil), t.uids...)
 	n.loc = make(map[Member]int, len(t.loc))
@@ -467,38 +489,77 @@ func (r *BatchResult) Encryption(id int) (Encryption, bool) {
 
 // UserNeeds returns, in bottom-up order, the encryptions user userID
 // requires: those whose encrypting key lies on the user's path to the
-// root (including its own individual key).
+// root (including its own individual key). It allocates a fresh slice
+// per call; hot paths should use AppendUserNeeds with a reused buffer.
 func (r *BatchResult) UserNeeds(userID int) []Encryption {
-	var out []Encryption
+	return r.AppendUserNeeds(nil, userID)
+}
+
+// AppendUserNeeds appends user userID's required encryptions to dst (in
+// bottom-up order) and returns the extended slice. Per-user assignment
+// loops call it once per member per batch; with a reused buffer
+// (dst[:0]) it is allocation-free after warm-up.
+//
+//rekeylint:hotpath
+func (r *BatchResult) AppendUserNeeds(dst []Encryption, userID int) []Encryption {
 	for id := userID; id >= 0; id = ParentID(r.d, id) {
-		if e, ok := r.Encryption(id); ok {
-			out = append(out, e)
+		if i, ok := r.lookup(id); ok {
+			if len(dst) == cap(dst) {
+				dst = growEncryptions(dst)
+			}
+			dst = dst[:len(dst)+1]
+			dst[len(dst)-1] = r.Encryptions[i]
 		}
 	}
-	return out
+	return dst
 }
 
 // UserNeedIDs is like UserNeeds but returns only the encryption IDs, in
-// bottom-up order. The key assignment algorithm packs by ID; ciphertexts
-// are materialised later.
+// bottom-up order. The key assignment algorithm packs by ID;
+// ciphertexts are materialised later. It allocates per call; hot paths
+// should use AppendUserNeedIDs with a reused buffer.
 func (r *BatchResult) UserNeedIDs(userID int) []uint32 {
-	var out []uint32
-	for id := userID; id >= 0; id = ParentID(r.d, id) {
-		if _, ok := r.lookup(id); ok {
-			out = append(out, uint32(id))
-		}
-	}
-	return out
+	return r.AppendUserNeedIDs(nil, userID)
 }
 
-// ProcessBatch applies the marking algorithm for one rekey interval:
-// the L members in leaves depart and the J members in joins arrive.
-// It returns the generated rekey workload. A batch with no membership
-// change returns an empty BatchResult (no rekeying needed).
+// AppendUserNeedIDs appends user userID's required encryption IDs to
+// dst (in bottom-up order) and returns the extended slice.
+//
+//rekeylint:hotpath
+func (r *BatchResult) AppendUserNeedIDs(dst []uint32, userID int) []uint32 {
+	for id := userID; id >= 0; id = ParentID(r.d, id) {
+		if _, ok := r.lookup(id); ok {
+			if len(dst) == cap(dst) {
+				dst = growIDs(dst)
+			}
+			dst = dst[:len(dst)+1]
+			dst[len(dst)-1] = uint32(id)
+		}
+	}
+	return dst
+}
+
+// growEncryptions is the cold grow path of AppendUserNeeds: extend the
+// buffer's capacity by one slot (amortised doubling via append) without
+// changing its length.
+func growEncryptions(dst []Encryption) []Encryption {
+	return append(dst, Encryption{})[:len(dst)]
+}
+
+// growIDs is the cold grow path of AppendUserNeedIDs.
+func growIDs(dst []uint32) []uint32 {
+	return append(dst, 0)[:len(dst)]
+}
+
+// ProcessBatch applies one rekey interval: the L members in leaves
+// depart and the J members in joins arrive, placed and marked by the
+// tree's strategy. It returns the generated rekey workload. A batch
+// with no membership change returns an empty BatchResult (no rekeying
+// needed).
 //
 // ProcessBatch is the parallel pipeline: updated k-node keys are drawn
 // in one bulk CSPRNG read and the wrap emission fans out across a
-// worker pool (SetWorkers). Its output is byte-identical to
+// worker pool (WithWorkers). Its output is byte-identical to
 // ProcessBatchSeq given the same starting tree and generator state.
 func (t *Tree) ProcessBatch(joins, leaves []Member) (*BatchResult, error) {
 	return t.processBatch(joins, leaves, false)
@@ -545,11 +606,16 @@ func (t *Tree) processBatch(joins, leaves []Member, seq bool) (*BatchResult, err
 		t.nodes[i].label = Unchanged
 	}
 
-	joinPos, replacePos, vacatedPos, err := t.applyMembership(joins, leaves)
-	if err != nil {
+	// Hand the validated batch to the placement strategy, then fold its
+	// user-ID delta into the maintained sorted slice. A strategy error
+	// after mutation would leave the tree inconsistent, so strategies
+	// only error on contract violations (which validation above already
+	// rules out for the built-ins).
+	ops := newTreeOps(t, len(joins), len(leaves))
+	if err := t.strat.PlaceBatch(ops, joins, leaves); err != nil {
 		return nil, err
 	}
-	t.relabel(joinPos, replacePos, vacatedPos)
+	ops.commit()
 	updated := t.rekeyKNodes(seq)
 
 	res := &BatchResult{
@@ -619,258 +685,6 @@ func (t *Tree) commitUserIDs(removed, added []int) {
 		ai++
 	}
 	t.uids = out
-}
-
-// applyMembership performs the tree-update phase of the marking
-// algorithm (Appendix B steps 1-4) and reports where new users were
-// placed: joinPos are previously-empty positions, replacePos are
-// positions whose previous occupant departed this interval, and
-// vacatedPos are positions that became n-nodes this interval (removed
-// u-nodes that were not refilled, plus pruned k-nodes). Only those
-// count as Leave during relabelling: n-node holes inherited from
-// earlier intervals are not membership changes and must not force key
-// updates on their ancestors.
-func (t *Tree) applyMembership(joins, leaves []Member) (joinPos, replacePos, vacatedPos *bitset, err error) {
-	joinPos, replacePos, vacatedPos = &bitset{}, &bitset{}, &bitset{}
-
-	// User-ID delta events with final-state cancellation: an ID vacated
-	// and refilled within one batch nets out to no uids change, and an
-	// ID placed then moved away by a split never enters uids at all.
-	removedSet := make(map[int]bool, len(leaves))
-	addedSet := make(map[int]bool, len(joins))
-	uidRemove := func(id int) {
-		if addedSet[id] {
-			delete(addedSet, id)
-		} else {
-			removedSet[id] = true
-		}
-	}
-	uidAdd := func(id int) {
-		if removedSet[id] {
-			delete(removedSet, id)
-		} else {
-			addedSet[id] = true
-		}
-	}
-
-	departed := make([]int, 0, len(leaves))
-	for _, m := range leaves {
-		id := t.loc[m]
-		departed = append(departed, id)
-		delete(t.loc, m)
-		t.nodes[id] = node{kind: NNode}
-		vacatedPos.set(id)
-		uidRemove(id)
-	}
-	sort.Ints(departed)
-
-	J, L := len(joins), len(leaves)
-	place := func(id int, m Member, replaced bool) {
-		t.nodes[id] = node{kind: UNode, member: m, key: t.gen.MustNewKey()}
-		t.loc[m] = id
-		vacatedPos.clear(id)
-		uidAdd(id)
-		if replaced {
-			replacePos.set(id)
-		} else {
-			joinPos.set(id)
-		}
-	}
-	moved := func(from, to int) {
-		uidRemove(from)
-		uidAdd(to)
-	}
-
-	switch {
-	case J == L:
-		for i, m := range joins {
-			place(departed[i], m, true)
-		}
-	case J < L:
-		// Fill the J smallest departed positions (they are sorted);
-		// the remaining L-J stay n-nodes.
-		for i, m := range joins {
-			place(departed[i], m, true)
-		}
-		// Cascade: k-nodes whose children are all n-nodes become
-		// n-nodes, repeated up the tree.
-		t.pruneEmptyKNodes(vacatedPos)
-	default: // J > L
-		for i := 0; i < L; i++ {
-			place(departed[i], joins[i], true)
-		}
-		extra := joins[L:]
-		t.placeExtraJoins(extra, place, moved)
-	}
-
-	// Step 4: any n-node with a descendant u-node becomes a k-node.
-	// (Arises when a join fills a position under a pruned subtree.)
-	t.promoteNNodes()
-
-	removed := make([]int, 0, len(removedSet))
-	for id := range removedSet {
-		removed = append(removed, id)
-	}
-	added := make([]int, 0, len(addedSet))
-	for id := range addedSet {
-		added = append(added, id)
-	}
-	t.commitUserIDs(removed, added)
-
-	return joinPos, replacePos, vacatedPos, nil
-}
-
-// pruneEmptyKNodes converts k-nodes whose children are all n-nodes into
-// n-nodes, iterating bottom-up until stable, recording the vacated
-// positions.
-func (t *Tree) pruneEmptyKNodes(vacatedPos *bitset) {
-	for id := len(t.nodes) - 1; id >= 0; id-- {
-		if t.nodes[id].kind != KNode {
-			continue
-		}
-		allN := true
-		first := t.d*id + 1
-		for c := first; c < first+t.d; c++ {
-			if t.kindOf(c) != NNode {
-				allN = false
-				break
-			}
-		}
-		if allN {
-			t.nodes[id] = node{kind: NNode}
-			vacatedPos.set(id)
-		}
-	}
-}
-
-// promoteNNodes converts n-nodes that acquired a u-node descendant into
-// k-nodes (they get keys during relabelAndRekey, since their labels are
-// necessarily not Unchanged).
-func (t *Tree) promoteNNodes() {
-	// A single bottom-up pass suffices: a node's promotion depends only
-	// on deeper nodes.
-	for id := len(t.nodes) - 1; id >= 0; id-- {
-		if t.nodes[id].kind != NNode {
-			continue
-		}
-		first := t.d*id + 1
-		for c := first; c < first+t.d; c++ {
-			k := t.kindOf(c)
-			if k == UNode || k == KNode {
-				t.nodes[id].kind = KNode
-				break
-			}
-		}
-	}
-}
-
-// placeExtraJoins implements the J > L expansion: fill n-node positions
-// with IDs in (nk, d*nk+d], then repeatedly split node nk+1, where nk is
-// the maximum k-node ID, updating nk after each split. The split node
-// becomes its own leftmost child.
-func (t *Tree) placeExtraJoins(extra []Member, place func(int, Member, bool), moved func(from, to int)) {
-	i := 0
-	if len(t.loc) == 0 && t.MaxKID() < 0 {
-		// Empty tree: seed it by making the root a k-node over a first
-		// leaf, then let the regular expansion take over.
-		t.growTo(t.d)
-		place(1, extra[i], false)
-		t.nodes[0].kind = KNode
-		i++
-	}
-	if i >= len(extra) {
-		return
-	}
-
-	// Fill n-node positions in the window (nk, d*nk+d], low to high.
-	nk := t.MaxKID()
-	hi := t.d*nk + t.d
-	t.growTo(hi)
-	for id := nk + 1; id <= hi && i < len(extra); id++ {
-		if t.nodes[id].kind == NNode {
-			place(id, extra[i], false)
-			i++
-		}
-	}
-
-	// Still extra joins: keep splitting node nk+1 and updating nk.
-	// After the full window pass every position in (nk, d*nk+d] is a
-	// u-node, so the split target is a u-node, and the only fresh
-	// n-node positions each split creates are the split node's
-	// children other than the leftmost (which receives the moved
-	// user). Filling just those is equivalent to rescanning the
-	// window, but linear instead of quadratic.
-	for i < len(extra) {
-		split := nk + 1
-		child := t.d*split + 1
-		t.growTo(child + t.d - 1)
-		m := t.nodes[split]
-		t.nodes[child] = m
-		t.loc[m.member] = child
-		t.nodes[split] = node{kind: KNode}
-		moved(split, child)
-		nk = split
-		for id := child + 1; id <= child+t.d-1 && i < len(extra); id++ {
-			place(id, extra[i], false)
-			i++
-		}
-	}
-}
-
-// relabel performs the rekey-subtree labelling pass of the marking
-// algorithm, bottom-up. n-nodes are Leave only if vacated this
-// interval; holes inherited from earlier intervals are no change at
-// all.
-func (t *Tree) relabel(joinPos, replacePos, vacatedPos *bitset) {
-	for id := len(t.nodes) - 1; id >= 0; id-- {
-		n := &t.nodes[id]
-		switch n.kind {
-		case NNode:
-			if vacatedPos.get(id) {
-				n.label = Leave
-			} else {
-				n.label = Unchanged
-			}
-		case UNode:
-			switch {
-			case joinPos.get(id):
-				n.label = Join
-			case replacePos.get(id):
-				n.label = Replace
-			default:
-				n.label = Unchanged
-			}
-		case KNode:
-			allLeave, allUnchanged, allUnchangedOrJoin := true, true, true
-			first := t.d*id + 1
-			for c := first; c < first+t.d; c++ {
-				var l Label = Leave
-				if c < len(t.nodes) {
-					l = t.nodes[c].label
-				}
-				if l != Leave {
-					allLeave = false
-				}
-				if l != Unchanged {
-					allUnchanged = false
-				}
-				if l != Unchanged && l != Join {
-					allUnchangedOrJoin = false
-				}
-			}
-			switch {
-			case allLeave:
-				// Cannot occur: such k-nodes were pruned to n-nodes.
-				n.label = Leave
-			case allUnchanged:
-				n.label = Unchanged
-			case allUnchangedOrJoin:
-				n.label = Join
-			default:
-				n.label = Replace
-			}
-		}
-	}
 }
 
 // rekeyKNodes generates new keys for every updated k-node (labels

@@ -1,0 +1,455 @@
+package keytree
+
+// The TreeStrategy API: batch placement and rekey-subtree marking are a
+// pluggable policy, not part of the tree core. A Strategy receives each
+// validated (joins, leaves) batch and decides -- through the TreeOps
+// facade -- where joiners are placed, which subtrees prune, and how the
+// rekey subtree is labelled; the Tree itself retains state ownership,
+// key storage, the Lemma 4.1 invariant, key generation and the parallel
+// wrap-emission pipeline. See DESIGN.md "Tree strategies" for the full
+// contract and how to add an implementation.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Strategy decides batch placement and marking for one key tree. The
+// rekey workload a strategy induces -- how many k-nodes change keys,
+// hence how many encryptions each batch emits -- is the quantity the
+// strategy race in EXPERIMENTS.md compares.
+//
+// Contract (enforced by Tree.CheckInvariant, the oracle suite and
+// FuzzStrategyEquivalence):
+//
+//   - PlaceBatch must remove every leaver, place every joiner, and
+//     leave the tree satisfying Lemma 4.1 (every k-node ID below every
+//     u-node ID) with a correct labelling: exactly the k-nodes whose
+//     keys must change carry the Join or Replace label.
+//   - Every position a leaver vacates must end the batch either
+//     reoccupied or with a Leave-labelled hole whose ancestors are
+//     marked, so forward secrecy holds (a departed member's keys never
+//     survive).
+//   - Tree expansion must use TreeOps.Split (occupant moves to the
+//     leftmost child), the rule members rely on to rederive their IDs
+//     from maxKID alone (Theorem 4.2).
+//   - All key material flows through the facade (TreeOps.Place draws
+//     individual keys; the tree draws k-node keys after PlaceBatch
+//     returns). Strategies never touch crypto/rand or any other
+//     entropy source directly; rekeylint's cryptorand analyzer makes a
+//     violation a build failure.
+//   - PlaceBatch must be deterministic given the tree state and batch.
+//
+// A Strategy must be stateless (or internally synchronised): one value
+// may serve many trees, including clones raced concurrently.
+type Strategy interface {
+	// Name identifies the strategy in registries, tables and flags.
+	Name() string
+	// PlaceBatch applies one validated batch's membership changes.
+	PlaceBatch(ops *TreeOps, joins, leaves []Member) error
+}
+
+// strategyFactories is the registry of named strategies.
+var strategyFactories = map[string]func() Strategy{}
+
+// RegisterStrategy adds a named strategy factory. Registering a
+// duplicate name panics: strategy names appear in configs and result
+// tables, where silent replacement would corrupt comparisons.
+func RegisterStrategy(name string, factory func() Strategy) {
+	if name == "" || factory == nil {
+		panic("keytree: RegisterStrategy with empty name or nil factory")
+	}
+	if _, dup := strategyFactories[name]; dup {
+		panic(fmt.Sprintf("keytree: strategy %q registered twice", name))
+	}
+	strategyFactories[name] = factory
+}
+
+// NewStrategy instantiates a registered strategy by name. The empty
+// name resolves to the default ("paper", the marking algorithm of the
+// source paper's Appendix B).
+func NewStrategy(name string) (Strategy, error) {
+	if name == "" {
+		name = StrategyPaper
+	}
+	f, ok := strategyFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("keytree: unknown strategy %q (have %v)", name, StrategyNames())
+	}
+	return f(), nil
+}
+
+// StrategyNames returns the registered strategy names, sorted.
+func StrategyNames() []string {
+	out := make([]string, 0, len(strategyFactories))
+	for name := range strategyFactories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Registered strategy names.
+const (
+	// StrategyPaper is the paper's Appendix B marking algorithm, the
+	// default.
+	StrategyPaper = "paper"
+	// StrategyBatchPlace is the DC-programming-inspired co-optimised
+	// insert/delete placement.
+	StrategyBatchPlace = "batchplace"
+	// StrategyLeftmost is the cheap leftmost-compaction baseline.
+	StrategyLeftmost = "leftmost"
+)
+
+func init() {
+	RegisterStrategy(StrategyPaper, func() Strategy { return PaperMarking{} })
+	RegisterStrategy(StrategyBatchPlace, func() Strategy { return BatchPlace{} })
+	RegisterStrategy(StrategyLeftmost, func() Strategy { return LeftmostCompact{} })
+}
+
+// Option configures a Tree at construction time.
+type Option func(*Tree)
+
+// WithLite skips ciphertext materialisation in ProcessBatch: encryption
+// IDs and counts stay exact but Wrapped stays zero. Transport
+// experiments that only track packet bookkeeping use it to avoid paying
+// for AES on hundreds of simulated rekey messages.
+func WithLite(lite bool) Option { return func(t *Tree) { t.lite = lite } }
+
+// WithWorkers bounds the worker pool of the parallel batch pipeline;
+// n <= 0 means GOMAXPROCS (resolved via internal/tuning).
+func WithWorkers(n int) Option { return func(t *Tree) { t.workers = n } }
+
+// WithObs attaches a metrics registry (nil detaches); a nil registry
+// costs only a nil check.
+func WithObs(r *obs.Registry) Option { return func(t *Tree) { t.reg = r } }
+
+// WithStrategy selects the tree's placement/marking strategy; nil keeps
+// the default PaperMarking.
+func WithStrategy(s Strategy) Option {
+	return func(t *Tree) {
+		if s != nil {
+			t.strat = s
+		}
+	}
+}
+
+// TreeOps is the facade through which a Strategy mutates the tree
+// during PlaceBatch. It is the strategy's entire sanctioned write
+// surface: membership moves, structural growth, prune/promote sweeps
+// and labelling. Key material never passes through a strategy's hands
+// -- Place draws individual keys from the tree's injected generator,
+// and k-node keys are drawn by the tree after PlaceBatch returns. A
+// TreeOps is valid only for the duration of one PlaceBatch call.
+type TreeOps struct {
+	t *Tree
+	// Placement marks driving Relabel: positions filled by a pure join,
+	// positions refilled after a same-interval departure, and positions
+	// vacated this interval (u-nodes removed and not refilled, plus
+	// pruned k-nodes).
+	joinPos, replacePos, vacatedPos bitset
+	// User-ID delta events with final-state cancellation: an ID vacated
+	// and refilled within one batch nets out to no uids change, and an
+	// ID placed then moved away by a split never enters uids at all.
+	removedSet, addedSet map[int]bool
+}
+
+func newTreeOps(t *Tree, joins, leaves int) *TreeOps {
+	return &TreeOps{
+		t:          t,
+		removedSet: make(map[int]bool, leaves),
+		addedSet:   make(map[int]bool, joins),
+	}
+}
+
+func (o *TreeOps) uidRemove(id int) {
+	if o.addedSet[id] {
+		delete(o.addedSet, id)
+	} else {
+		o.removedSet[id] = true
+	}
+}
+
+func (o *TreeOps) uidAdd(id int) {
+	if o.removedSet[id] {
+		delete(o.removedSet, id)
+	} else {
+		o.addedSet[id] = true
+	}
+}
+
+// commit folds the batch's u-node removals and additions into the
+// tree's maintained sorted user-ID slice. Called by the tree after
+// PlaceBatch returns.
+func (o *TreeOps) commit() {
+	removed := make([]int, 0, len(o.removedSet))
+	for id := range o.removedSet {
+		removed = append(removed, id)
+	}
+	added := make([]int, 0, len(o.addedSet))
+	for id := range o.addedSet {
+		added = append(added, id)
+	}
+	o.t.commitUserIDs(removed, added)
+}
+
+// Degree returns the tree degree d.
+func (o *TreeOps) Degree() int { return o.t.d }
+
+// Len returns the allocated node count; IDs beyond it are n-nodes of
+// the conceptual infinite expansion.
+func (o *TreeOps) Len() int { return len(o.t.nodes) }
+
+// MaxKID returns the maximum current k-node ID, or -1 if none.
+func (o *TreeOps) MaxKID() int { return o.t.MaxKID() }
+
+// Kind returns node id's kind, tolerating IDs beyond the allocation.
+func (o *TreeOps) Kind(id int) NodeKind { return o.t.kindOf(id) }
+
+// Parent returns the parent ID of node id, or -1 for the root.
+func (o *TreeOps) Parent(id int) int { return o.t.Parent(id) }
+
+// UserID returns the u-node position of member m.
+func (o *TreeOps) UserID(m Member) (int, bool) { return o.t.UserID(m) }
+
+// Empty reports whether the tree holds no users and no k-nodes (the
+// state requiring a root bootstrap before any placement).
+func (o *TreeOps) Empty() bool { return o.t.N() == 0 && o.t.MaxKID() < 0 }
+
+// VacatedThisBatch reports whether position id was vacated during the
+// current batch (by a leaver's removal or a k-node prune). Inherited
+// holes from earlier intervals report false.
+func (o *TreeOps) VacatedThisBatch(id int) bool { return o.vacatedPos.get(id) }
+
+// LiveChildren returns how many children of node id are live (u- or
+// k-nodes). Cost models use it to price marking a fresh k-node.
+func (o *TreeOps) LiveChildren(id int) int {
+	n := 0
+	first := o.t.d*id + 1
+	for c := first; c < first+o.t.d; c++ {
+		if o.t.kindOf(c) != NNode {
+			n++
+		}
+	}
+	return n
+}
+
+// Remove departs member m: its position becomes a vacated n-node. The
+// batch prologue has already validated membership, so an unknown member
+// is a strategy bug and returns an error.
+func (o *TreeOps) Remove(m Member) (id int, err error) {
+	id, ok := o.t.loc[m]
+	if !ok {
+		return 0, fmt.Errorf("keytree: strategy removed unknown member %d", m)
+	}
+	delete(o.t.loc, m)
+	o.t.nodes[id] = node{kind: NNode}
+	o.vacatedPos.set(id)
+	o.uidRemove(id)
+	return id, nil
+}
+
+// Place installs joiner m at position id with a fresh individual key
+// drawn from the tree's injected generator (draw order is Place call
+// order -- strategies that must match a reference stream place in a
+// fixed order). replaced records whether the position was vacated this
+// same interval, which Relabel turns into Replace rather than Join.
+func (o *TreeOps) Place(id int, m Member, replaced bool) {
+	o.t.growTo(id)
+	o.t.nodes[id] = node{kind: UNode, member: m, key: o.t.gen.MustNewKey()}
+	o.t.loc[m] = id
+	o.vacatedPos.clear(id)
+	o.uidAdd(id)
+	if replaced {
+		o.replacePos.set(id)
+	} else {
+		o.joinPos.set(id)
+	}
+}
+
+// GrowTo extends the allocated tree so that id is a valid index.
+func (o *TreeOps) GrowTo(id int) { o.t.growTo(id) }
+
+// SeedRoot bootstraps an empty tree: the root becomes a k-node over a
+// first leaf holding member m at node 1.
+func (o *TreeOps) SeedRoot(m Member) {
+	o.t.growTo(o.t.d)
+	o.Place(1, m, false)
+	o.t.nodes[0].kind = KNode
+}
+
+// Split expands the tree at u-node id per the Theorem 4.2 rule: the
+// occupant moves to the leftmost child d*id+1, position id becomes a
+// k-node (keyed after PlaceBatch by the tree), and the d-1 sibling
+// positions become fresh n-node slots. Returns the leftmost child ID.
+func (o *TreeOps) Split(id int) int {
+	child := o.t.d*id + 1
+	o.t.growTo(child + o.t.d - 1)
+	m := o.t.nodes[id]
+	o.t.nodes[child] = m
+	o.t.loc[m.member] = child
+	o.t.nodes[id] = node{kind: KNode}
+	o.uidRemove(id)
+	o.uidAdd(child)
+	return child
+}
+
+// PruneEmptyKNodes converts k-nodes whose children are all n-nodes into
+// n-nodes, iterating bottom-up until stable, recording the vacated
+// positions so Relabel marks them Leave.
+func (o *TreeOps) PruneEmptyKNodes() {
+	t := o.t
+	for id := len(t.nodes) - 1; id >= 0; id-- {
+		if t.nodes[id].kind != KNode {
+			continue
+		}
+		allN := true
+		first := t.d*id + 1
+		for c := first; c < first+t.d; c++ {
+			if t.kindOf(c) != NNode {
+				allN = false
+				break
+			}
+		}
+		if allN {
+			t.nodes[id] = node{kind: NNode}
+			o.vacatedPos.set(id)
+		}
+	}
+}
+
+// PromoteNNodes converts n-nodes that acquired a u-node or k-node
+// descendant into k-nodes (they get keys after PlaceBatch, since their
+// labels are necessarily not Unchanged). A single bottom-up pass
+// suffices: a node's promotion depends only on deeper nodes.
+func (o *TreeOps) PromoteNNodes() {
+	t := o.t
+	for id := len(t.nodes) - 1; id >= 0; id-- {
+		if t.nodes[id].kind != NNode {
+			continue
+		}
+		first := t.d*id + 1
+		for c := first; c < first+t.d; c++ {
+			k := t.kindOf(c)
+			if k == UNode || k == KNode {
+				t.nodes[id].kind = KNode
+				break
+			}
+		}
+	}
+}
+
+// Label returns node id's current rekey-subtree label.
+func (o *TreeOps) Label(id int) Label {
+	if id >= len(o.t.nodes) {
+		return Unchanged
+	}
+	return o.t.nodes[id].label
+}
+
+// SetLabel overrides node id's label directly. Most strategies only
+// record placement marks and call Relabel; SetLabel exists for
+// strategies with marking rules Relabel cannot express.
+func (o *TreeOps) SetLabel(id int, l Label) {
+	o.t.growTo(id)
+	o.t.nodes[id].label = l
+}
+
+// Relabel performs the generic rekey-subtree labelling pass, bottom-up,
+// from the placement marks accumulated by Place, Remove, Split and
+// PruneEmptyKNodes: n-nodes are Leave only if vacated this interval
+// (holes inherited from earlier intervals are no change at all);
+// u-nodes take Join or Replace from their placement; a k-node derives
+// its label from its children.
+func (o *TreeOps) Relabel() {
+	t := o.t
+	for id := len(t.nodes) - 1; id >= 0; id-- {
+		n := &t.nodes[id]
+		switch n.kind {
+		case NNode:
+			if o.vacatedPos.get(id) {
+				n.label = Leave
+			} else {
+				n.label = Unchanged
+			}
+		case UNode:
+			switch {
+			case o.joinPos.get(id):
+				n.label = Join
+			case o.replacePos.get(id):
+				n.label = Replace
+			default:
+				n.label = Unchanged
+			}
+		case KNode:
+			allLeave, allUnchanged, allUnchangedOrJoin := true, true, true
+			first := t.d*id + 1
+			for c := first; c < first+t.d; c++ {
+				var l Label = Leave
+				if c < len(t.nodes) {
+					l = t.nodes[c].label
+				}
+				if l != Leave {
+					allLeave = false
+				}
+				if l != Unchanged {
+					allUnchanged = false
+				}
+				if l != Unchanged && l != Join {
+					allUnchangedOrJoin = false
+				}
+			}
+			switch {
+			case allLeave:
+				// Cannot occur: such k-nodes were pruned to n-nodes.
+				n.label = Leave
+			case allUnchanged:
+				n.label = Unchanged
+			case allUnchangedOrJoin:
+				n.label = Join
+			default:
+				n.label = Replace
+			}
+		}
+	}
+}
+
+// fillWindow places joiners into n-node holes of the u-region window
+// (nk, d*nk+d], lowest ID first, and returns how many were placed.
+// Positions vacated this interval are marked Replace, inherited holes
+// Join.
+func fillWindow(ops *TreeOps, extra []Member) int {
+	nk := ops.MaxKID()
+	hi := ops.Degree()*nk + ops.Degree()
+	ops.GrowTo(hi)
+	i := 0
+	for id := nk + 1; id <= hi && i < len(extra); id++ {
+		if ops.Kind(id) == NNode {
+			ops.Place(id, extra[i], ops.VacatedThisBatch(id))
+			i++
+		}
+	}
+	return i
+}
+
+// splitGrow expands the tree to absorb joiners once every position of
+// the u-region window is occupied: repeatedly split node nk+1 (nk the
+// maximum k-node ID, updated after each split) and fill the fresh
+// sibling slots. The precondition -- a fully packed window -- makes the
+// split target a u-node and the split children the only new holes, so
+// the pass is linear instead of a quadratic window rescan.
+func splitGrow(ops *TreeOps, extra []Member) {
+	nk := ops.MaxKID()
+	i := 0
+	for i < len(extra) {
+		split := nk + 1
+		child := ops.Split(split)
+		nk = split
+		for id := child + 1; id <= child+ops.Degree()-1 && i < len(extra); id++ {
+			ops.Place(id, extra[i], false)
+			i++
+		}
+	}
+}

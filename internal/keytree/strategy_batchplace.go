@@ -1,0 +1,230 @@
+package keytree
+
+import "sort"
+
+// BatchPlace co-optimises the batch's inserts and deletes jointly,
+// after the difference-of-convex (DC) placement view of batch rekeying:
+// every candidate slot (a position vacated this interval or a hole
+// inherited from earlier ones) is priced by the marginal number of
+// encryptions filling it would add -- the cost of newly marking its
+// yet-unmarked ancestors minus the prune savings the tree would have
+// enjoyed had the slot stayed empty -- and joiners go to the cheapest
+// slots first. Costs are re-evaluated as the marked region grows, so a
+// second joiner placed under a freshly-marked subtree is recognised as
+// nearly free, which is exactly the clustering PaperMarking's
+// lowest-ID-first refill cannot see.
+//
+// Above adaptiveCostBudget cost-times-candidate work the adaptive
+// re-evaluation falls back to a one-shot ranking: with that much churn
+// the marked region converges after a handful of placements and the
+// refinement's win is marginal, while the exact greedy would go
+// quadratic.
+type BatchPlace struct{}
+
+// Name implements Strategy.
+func (BatchPlace) Name() string { return StrategyBatchPlace }
+
+const adaptiveCostBudget = 1 << 24
+
+// PlaceBatch implements Strategy.
+func (BatchPlace) PlaceBatch(ops *TreeOps, joins, leaves []Member) error {
+	departed := make([]int, 0, len(leaves))
+	for _, m := range leaves {
+		id, err := ops.Remove(m)
+		if err != nil {
+			return err
+		}
+		departed = append(departed, id)
+	}
+
+	i := 0
+	if len(joins) > 0 && ops.Empty() {
+		ops.SeedRoot(joins[i])
+		i++
+	}
+	if i < len(joins) {
+		placed := placeCheapestFirst(ops, joins[i:], departed)
+		i += placed
+		// Leftover joiners mean every candidate slot is occupied: the
+		// window is fully packed, splitGrow's precondition.
+		splitGrow(ops, joins[i:])
+	}
+
+	ops.PruneEmptyKNodes()
+	ops.PromoteNNodes()
+	ops.Relabel()
+	return nil
+}
+
+// placeCheapestFirst fills up to len(extra) candidate slots of the
+// u-region window in marginal-cost order and returns how many joiners
+// it placed (the rest overflow to splits).
+func placeCheapestFirst(ops *TreeOps, extra []Member, departed []int) int {
+	nk := ops.MaxKID()
+	if nk < 0 {
+		return 0
+	}
+	hi := ops.Degree()*nk + ops.Degree()
+	ops.GrowTo(hi)
+
+	// All u-nodes -- hence all holes -- live in (nk, d*nk+d]: Lemma 4.1
+	// bounds them below by nk, and a u-node's parent is a k-node <= nk.
+	cands := make([]int, 0, len(departed))
+	for id := nk + 1; id <= hi; id++ {
+		if ops.Kind(id) == NNode {
+			cands = append(cands, id)
+		}
+	}
+	if len(cands) == 0 {
+		return 0
+	}
+
+	if len(extra) >= len(cands) {
+		// Every slot gets filled; cost order is irrelevant (joiners are
+		// interchangeable), so fill in ascending ID order.
+		for j, id := range cands {
+			ops.Place(id, extra[j], ops.VacatedThisBatch(id))
+		}
+		return len(cands)
+	}
+
+	// alive[id]: does the subtree at id still hold a user after the
+	// removals? Dead k-nodes are the prune savings the cost model must
+	// not spend: marking them is only paid for slots that resurrect
+	// them.
+	alive := make([]bool, ops.Len())
+	d := ops.Degree()
+	for id := ops.Len() - 1; id >= 0; id-- {
+		if ops.Kind(id) == UNode {
+			alive[id] = true
+			continue
+		}
+		first := d*id + 1
+		for c := first; c < first+d && c < len(alive); c++ {
+			if alive[c] {
+				alive[id] = true
+				break
+			}
+		}
+	}
+
+	// Ancestors that rekey regardless of placement: every surviving
+	// ancestor of a departure is marked already (its key is compromised
+	// by the leaver), so slots under them are cheap.
+	marked := make(map[int]bool, len(departed)*2)
+	for _, v := range departed {
+		for a := ops.Parent(v); a >= 0; a = ops.Parent(a) {
+			if marked[a] {
+				break
+			}
+			if alive[a] {
+				marked[a] = true
+			}
+		}
+	}
+
+	n := len(extra)
+	costs := make([]int, len(cands))
+	for j, id := range cands {
+		costs[j] = bpMarginalCost(ops, alive, marked, id)
+	}
+	order := make([]int, len(cands))
+	for j := range order {
+		order[j] = j
+	}
+	adaptive := n*len(cands) <= adaptiveCostBudget
+
+	if !adaptive {
+		sort.Slice(order, func(a, b int) bool {
+			ja, jb := order[a], order[b]
+			if costs[ja] != costs[jb] {
+				return costs[ja] < costs[jb]
+			}
+			return cands[ja] < cands[jb]
+		})
+		for j := 0; j < n; j++ {
+			id := cands[order[j]]
+			bpCommit(ops, alive, marked, id)
+			ops.Place(id, extra[j], ops.VacatedThisBatch(id))
+		}
+		return n
+	}
+
+	taken := make([]bool, len(cands))
+	for j := 0; j < n; j++ {
+		best := -1
+		for k, id := range cands {
+			if taken[k] {
+				continue
+			}
+			// Marginal costs only shrink as the marked region grows,
+			// so refresh before comparing.
+			costs[k] = bpMarginalCost(ops, alive, marked, id)
+			if best < 0 || costs[k] < costs[best] || (costs[k] == costs[best] && id < cands[best]) {
+				best = k
+			}
+		}
+		id := cands[best]
+		taken[best] = true
+		bpCommit(ops, alive, marked, id)
+		ops.Place(id, extra[j], ops.VacatedThisBatch(id))
+	}
+	return n
+}
+
+// bpMarginalCost prices filling hole h: one encryption for h's own
+// edge, plus -- for every ancestor not yet committed to rekeying -- the
+// encryptions marking it would emit: one per already-live child, plus
+// one for the path child when the placement resurrects a dead branch.
+// The walk stops at the first marked ancestor (everything above a
+// marked node is marked too).
+func bpMarginalCost(ops *TreeOps, alive []bool, marked map[int]bool, h int) int {
+	cost := 1
+	prevDead := true // the hole itself is dead until filled
+	d := ops.Degree()
+	for a := ops.Parent(h); a >= 0; a = ops.Parent(a) {
+		if marked[a] {
+			if prevDead {
+				cost++ // the resurrected branch adds one edge under a
+			}
+			break
+		}
+		if alive[a] {
+			lc := 0
+			first := d*a + 1
+			for c := first; c < first+d && c < len(alive); c++ {
+				if alive[c] {
+					lc++
+				}
+			}
+			if prevDead {
+				lc++
+			}
+			cost += lc
+			prevDead = false
+		} else {
+			// Dead ancestor (to-be-pruned k-node or inherited n-node):
+			// resurrecting it emits exactly one edge, the path child.
+			cost++
+			prevDead = true
+		}
+	}
+	return cost
+}
+
+// bpCommit records the placement at h in the cost model: the whole
+// ancestor chain is now alive and committed to rekeying.
+func bpCommit(ops *TreeOps, alive []bool, marked map[int]bool, h int) {
+	if h < len(alive) {
+		alive[h] = true
+	}
+	for a := ops.Parent(h); a >= 0; a = ops.Parent(a) {
+		if marked[a] {
+			break
+		}
+		marked[a] = true
+		if a < len(alive) {
+			alive[a] = true
+		}
+	}
+}

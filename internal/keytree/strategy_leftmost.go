@@ -1,0 +1,41 @@
+package keytree
+
+// LeftmostCompact is the cheap baseline strategy: it ignores where
+// members departed and always packs joiners into the lowest-ID holes of
+// the u-region window, splitting only when the window is full. The
+// policy is what a naive balanced-tree implementation does and costs
+// one O(window) scan per batch; the price is that a departure on the
+// right and an arrival on the left mark two root paths where PaperMarking
+// would have marked one, so it upper-bounds the encryption counts the
+// smarter strategies are judged against.
+type LeftmostCompact struct{}
+
+// Name implements Strategy.
+func (LeftmostCompact) Name() string { return StrategyLeftmost }
+
+// PlaceBatch implements Strategy.
+func (LeftmostCompact) PlaceBatch(ops *TreeOps, joins, leaves []Member) error {
+	for _, m := range leaves {
+		if _, err := ops.Remove(m); err != nil {
+			return err
+		}
+	}
+
+	i := 0
+	if len(joins) > 0 && ops.Empty() {
+		ops.SeedRoot(joins[i])
+		i++
+	}
+	if i < len(joins) {
+		i += fillWindow(ops, joins[i:])
+		splitGrow(ops, joins[i:])
+	}
+
+	// Leftmost packing can leave departed positions on the right
+	// unfilled even when joiners were available, so the prune cascade
+	// runs unconditionally (PaperMarking only needs it when J < L).
+	ops.PruneEmptyKNodes()
+	ops.PromoteNNodes()
+	ops.Relabel()
+	return nil
+}

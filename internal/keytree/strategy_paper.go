@@ -1,0 +1,80 @@
+package keytree
+
+import "sort"
+
+// PaperMarking is the tree-update phase of the paper's marking
+// algorithm (Appendix B steps 1-4), extracted behind the Strategy
+// interface unchanged: given the same tree and generator state it
+// produces byte-identical batches to the pre-strategy monolithic
+// ProcessBatch (pinned by TestPaperMarkingGolden). It is the default
+// strategy.
+//
+// Placement policy: departed positions are refilled lowest-ID first in
+// join arrival order; when joins outnumber leaves the overflow fills
+// the u-region window left to right, then splits expand the tree.
+type PaperMarking struct{}
+
+// Name implements Strategy.
+func (PaperMarking) Name() string { return StrategyPaper }
+
+// PlaceBatch implements Strategy.
+func (PaperMarking) PlaceBatch(ops *TreeOps, joins, leaves []Member) error {
+	departed := make([]int, 0, len(leaves))
+	for _, m := range leaves {
+		id, err := ops.Remove(m)
+		if err != nil {
+			return err
+		}
+		departed = append(departed, id)
+	}
+	sort.Ints(departed)
+
+	J, L := len(joins), len(leaves)
+	switch {
+	case J == L:
+		for i, m := range joins {
+			ops.Place(departed[i], m, true)
+		}
+	case J < L:
+		// Fill the J smallest departed positions (they are sorted);
+		// the remaining L-J stay n-nodes.
+		for i, m := range joins {
+			ops.Place(departed[i], m, true)
+		}
+		// Cascade: k-nodes whose children are all n-nodes become
+		// n-nodes, repeated up the tree.
+		ops.PruneEmptyKNodes()
+	default: // J > L
+		for i := 0; i < L; i++ {
+			ops.Place(departed[i], joins[i], true)
+		}
+		placeExtraJoinsPaper(ops, joins[L:])
+	}
+
+	// Step 4: any n-node with a descendant u-node becomes a k-node.
+	// (Arises when a join fills a position under a pruned subtree.)
+	ops.PromoteNNodes()
+	ops.Relabel()
+	return nil
+}
+
+// placeExtraJoinsPaper implements the J > L expansion: fill n-node
+// positions with IDs in (nk, d*nk+d], then repeatedly split node nk+1,
+// where nk is the maximum k-node ID, updating nk after each split. The
+// split node becomes its own leftmost child.
+func placeExtraJoinsPaper(ops *TreeOps, extra []Member) {
+	i := 0
+	if ops.Empty() {
+		// Empty tree: seed it by making the root a k-node over a first
+		// leaf, then let the regular expansion take over.
+		ops.SeedRoot(extra[i])
+		i++
+	}
+	if i >= len(extra) {
+		return
+	}
+	i += fillWindow(ops, extra[i:])
+	// Still extra joins: the window is now fully packed, so splitGrow's
+	// precondition holds.
+	splitGrow(ops, extra[i:])
+}

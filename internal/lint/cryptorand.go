@@ -24,6 +24,17 @@ var cryptorandRestricted = []string{
 	"internal/fec",
 }
 
+// cryptorandInjectedOnly lists packages whose entropy must arrive
+// through an injected keys.Generator rather than a direct crypto/rand
+// read: keytree placement strategies draw keys via the TreeOps facade,
+// and a private crypto/rand call would bypass the deterministic
+// generators that the differential, golden and fuzz suites rely on --
+// silently, since the output would still look random. internal/keys
+// itself is the one sanctioned crypto/rand consumer.
+var cryptorandInjectedOnly = []string{
+	"internal/keytree",
+}
+
 // Cryptorand forbids math/rand and time-seeded randomness in key-path
 // packages. Test files are exempt: deterministic fixtures are the
 // point there.
@@ -31,6 +42,15 @@ var Cryptorand = &Analyzer{
 	Name: "cryptorand",
 	Doc:  "key-path packages must draw randomness from the internal/keys CSPRNG, not math/rand or the clock",
 	Run:  runCryptorand,
+}
+
+func cryptorandInjectedOnlyApplies(path string) bool {
+	for _, suf := range cryptorandInjectedOnly {
+		if strings.HasSuffix(path, suf) {
+			return true
+		}
+	}
+	return false
 }
 
 func cryptorandApplies(path string) bool {
@@ -57,6 +77,9 @@ func runCryptorand(pass *Pass) error {
 			path := strings.Trim(imp.Path.Value, `"`)
 			if path == "math/rand" || path == "math/rand/v2" {
 				pass.Reportf(imp.Pos(), "key-path package imports %s; key material must come from the internal/keys CSPRNG", path)
+			}
+			if path == "crypto/rand" && cryptorandInjectedOnlyApplies(pass.Path) {
+				pass.Reportf(imp.Pos(), "package imports crypto/rand directly; draw entropy from the injected keys.Generator instead")
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

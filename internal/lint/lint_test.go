@@ -19,6 +19,13 @@ func TestCryptorandRestricted(t *testing.T) {
 	})
 }
 
+func TestCryptorandInjectedOnly(t *testing.T) {
+	linttest.Run(t, lint.Cryptorand, linttest.Fixture{
+		Dir:  "testdata/cryptorand/strategy",
+		Path: "repro/internal/keytree",
+	})
+}
+
 func TestCryptorandUnrestricted(t *testing.T) {
 	linttest.Run(t, lint.Cryptorand, linttest.Fixture{
 		Dir:  "testdata/cryptorand/sim",

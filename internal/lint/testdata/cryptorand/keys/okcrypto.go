@@ -1,0 +1,14 @@
+// internal/keys is the one sanctioned crypto/rand consumer (it seeds
+// the DRBG); the direct-import ban applies only to the injected-only
+// packages, so this file is clean.
+package keys
+
+import "crypto/rand"
+
+// SeedBytes reads DRBG seed material straight from the OS; allowed
+// here and nowhere downstream.
+func SeedBytes() []byte {
+	b := make([]byte, 32)
+	rand.Read(b)
+	return b
+}

@@ -165,13 +165,15 @@ func BuildMessage(res *keytree.BatchResult, plan *assign.Plan, k, treeDegree int
 	for i, pp := range plan.Packets {
 		m.FrmID[i], m.ToID[i] = pp.FrmID, pp.ToID
 	}
+	var needs []uint32
 	for i, nodeID := range res.UserIDs {
 		if pi, ok := plan.UserPacket[nodeID]; ok {
 			m.UserPkt[i] = pi
 		} else {
 			m.UserPkt[i] = -1
 		}
-		m.EncsPerUser[i] = len(res.UserNeedIDs(nodeID))
+		needs = res.AppendUserNeedIDs(needs[:0], nodeID)
+		m.EncsPerUser[i] = len(needs)
 	}
 	return m, nil
 }

@@ -41,6 +41,12 @@ type Tuning struct {
 	// Workers bounds the goroutines used for parallel work (FEC encode
 	// fan-out, per-user simulation); 0 means GOMAXPROCS. >= 0.
 	Workers int
+	// Strategy names the key tree's batch placement/marking strategy
+	// (keytree.StrategyNames lists the registered ones). Empty means
+	// "paper", the marking algorithm of the source paper's Appendix B.
+	// Validated by name resolution in rekey.NewServer -- this package
+	// sits below keytree and cannot consult the registry itself.
+	Strategy string
 }
 
 // Default returns the paper's default tuning.
@@ -52,6 +58,7 @@ func Default() Tuning {
 		NumNACK:            20,
 		MaxNACK:            100,
 		MaxMulticastRounds: 2,
+		Strategy:           "paper",
 	}
 }
 
@@ -75,6 +82,9 @@ func (t Tuning) WithDefaults() Tuning {
 	}
 	if t.MaxNACK == 0 {
 		t.MaxNACK = d.MaxNACK
+	}
+	if t.Strategy == "" {
+		t.Strategy = d.Strategy
 	}
 	return t
 }

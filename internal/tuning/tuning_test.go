@@ -46,9 +46,21 @@ func TestWithDefaults(t *testing.T) {
 		t.Errorf("zero tuning defaulted to %+v, want %+v", got, want)
 	}
 
-	explicit := Tuning{K: 32, Degree: 2, InitialRho: 2.5, NumNACK: 5, MaxNACK: 7, MaxMulticastRounds: 3, Workers: 4}
+	explicit := Tuning{K: 32, Degree: 2, InitialRho: 2.5, NumNACK: 5, MaxNACK: 7, MaxMulticastRounds: 3, Workers: 4, Strategy: "leftmost"}
 	if got := explicit.WithDefaults(); got != explicit {
 		t.Errorf("explicit tuning mutated: %+v", got)
+	}
+}
+
+// TestStrategyDefault: the Strategy knob defaults to the paper's
+// marking algorithm and explicit names are preserved (resolution
+// against the registry happens in rekey.NewServer).
+func TestStrategyDefault(t *testing.T) {
+	if got := Default().Strategy; got != "paper" {
+		t.Errorf("default Strategy = %q, want paper", got)
+	}
+	if got := (Tuning{}).WithDefaults().Strategy; got != "paper" {
+		t.Errorf("zero Strategy defaulted to %q, want paper", got)
 	}
 }
 

@@ -31,7 +31,7 @@ func NewGenerator(n, d, k int, seed uint64) (*Generator, error) {
 	if n <= 0 || d < 2 || k <= 0 {
 		return nil, fmt.Errorf("workload: bad parameters n=%d d=%d k=%d", n, d, k)
 	}
-	tr := keytree.New(d, keys.NewDeterministicGenerator(seed)).SetLite(true)
+	tr := keytree.New(d, keys.NewDeterministicGenerator(seed), keytree.WithLite(true))
 	joins := make([]keytree.Member, n)
 	for i := range joins {
 		joins[i] = keytree.Member(i)

@@ -112,14 +112,21 @@ func NewServer(cfg Config) (*Server, error) {
 	if err := cfg.Tuning.Validate(); err != nil {
 		return nil, fmt.Errorf("rekey: %w", err)
 	}
+	strat, err := keytree.NewStrategy(cfg.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("rekey: %w", err)
+	}
 	gen := keys.NewGenerator()
 	if cfg.KeySeed != 0 {
 		gen = keys.NewDeterministicGenerator(cfg.KeySeed)
 	}
 	return &Server{
-		cfg:    cfg,
-		obs:    cfg.Obs,
-		tree:   keytree.New(cfg.Degree, gen).SetWorkers(cfg.Workers).SetObs(cfg.Obs),
+		cfg: cfg,
+		obs: cfg.Obs,
+		tree: keytree.New(cfg.Degree, gen,
+			keytree.WithWorkers(cfg.Workers),
+			keytree.WithObs(cfg.Obs),
+			keytree.WithStrategy(strat)),
 		queued: make(map[MemberID]bool),
 	}, nil
 }

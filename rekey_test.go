@@ -77,6 +77,16 @@ func TestServerValidation(t *testing.T) {
 	if _, err := NewServer(Config{Tuning: badK}); err == nil {
 		t.Error("block size 1000 accepted")
 	}
+	badStrat := DefaultTuning()
+	badStrat.Strategy = "no-such-strategy"
+	if _, err := NewServer(Config{Tuning: badStrat}); err == nil {
+		t.Error("unknown placement strategy accepted")
+	}
+	altStrat := DefaultTuning()
+	altStrat.Strategy = "batchplace"
+	if _, err := NewServer(Config{Tuning: altStrat}); err != nil {
+		t.Errorf("batchplace strategy rejected: %v", err)
+	}
 	s := newServer(t, 1)
 	if err := s.QueueJoin(5); err != nil {
 		t.Fatal(err)
