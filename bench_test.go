@@ -60,7 +60,7 @@ func BenchmarkMarkingAlgorithm(b *testing.B) {
 // with real cryptography: batch -> UKA -> wire packets, for a 1024-user
 // group with 25% churn.
 func BenchmarkRekeyMessageMaterialize(b *testing.B) {
-	srv, err := rekey.NewServer(rekey.Config{KeySeed: 1})
+	srv, err := rekey.NewServer(rekey.WithKeySeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func BenchmarkRekeyMessageMaterialize(b *testing.B) {
 // BenchmarkMemberIngest measures client-side processing of one specific
 // ENC packet (parse + unwrap path keys), the per-user per-interval cost.
 func BenchmarkMemberIngest(b *testing.B) {
-	srv, err := rekey.NewServer(rekey.Config{KeySeed: 3})
+	srv, err := rekey.NewServer(rekey.WithKeySeed(3))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func BenchmarkFECEncodeParallel(b *testing.B) {
 //	          baseline, the bound recorded in the bench baseline JSON)
 //	live      a real registry absorbing counters and trace events
 func BenchmarkObsOverhead(b *testing.B) {
-	srv, err := rekey.NewServer(rekey.Config{KeySeed: 5})
+	srv, err := rekey.NewServer(rekey.WithKeySeed(5))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -77,7 +77,7 @@ func main() {
 	tun.K = *k
 	tun.InitialRho = *rho
 	tun.Workers = *workers
-	ks, err := rekey.NewServer(rekey.Config{Tuning: tun, KeySeed: *seed, Obs: reg})
+	ks, err := rekey.NewServer(rekey.WithTuning(tun), rekey.WithKeySeed(*seed), rekey.WithObs(reg))
 	if err != nil {
 		log.Fatal(err)
 	}

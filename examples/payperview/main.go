@@ -23,7 +23,7 @@ import (
 const subscribers = 4096
 
 func main() {
-	server, err := rekey.NewServer(rekey.Config{})
+	server, err := rekey.NewServer()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,7 +15,7 @@ import (
 func main() {
 	// A key server with the paper's defaults: degree-4 key tree, FEC
 	// block size 10.
-	server, err := rekey.NewServer(rekey.Config{})
+	server, err := rekey.NewServer()
 	if err != nil {
 		log.Fatal(err)
 	}

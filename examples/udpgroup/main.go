@@ -24,7 +24,7 @@ func main() {
 	// Rely on reactive recovery (rho = 1) so the NACK path shows up.
 	tun := rekey.DefaultTuning()
 	tun.InitialRho = 1.0
-	ks, err := rekey.NewServer(rekey.Config{Tuning: tun})
+	ks, err := rekey.NewServer(rekey.WithTuning(tun))
 	if err != nil {
 		log.Fatal(err)
 	}

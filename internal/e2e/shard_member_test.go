@@ -1,0 +1,187 @@
+// Sharded-coordinator end-to-end: real rekey.Member clients fed raw
+// marshalled wire packets from a multi-shard interval. The member code
+// predates package shard and knows nothing about it -- if every
+// survivor lands on the coordinator's group key from exactly its shard
+// channel's bytes, and an evicted member cannot, the merged message is
+// indistinguishable from a single-tree server's output on the wire.
+
+package e2e
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	rekey "repro"
+	"repro/internal/keytree"
+	"repro/internal/packet"
+	"repro/internal/shard"
+	"repro/internal/tuning"
+)
+
+const memberBlockSize = 4
+
+// ingestChannel feeds every ENC packet of one shard channel, raw, into
+// the member. strict fails the test on any ingest error; the evicted
+// path disables it (undecryptable leftovers are the expected outcome).
+func ingestChannel(t *testing.T, m *rekey.Member, pkts []*packet.ENC, strict bool) {
+	t.Helper()
+	for _, p := range pkts {
+		raw, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		// ErrStale is routine: once the member's own ENC completes the
+		// message, the rest of the channel is redundant by design.
+		if _, err := m.Ingest(raw); err != nil && strict && !errors.Is(err, rekey.ErrStale) {
+			t.Fatalf("ingest: %v", err)
+		}
+	}
+}
+
+func TestShardedWireFeedsRealMembers(t *testing.T) {
+	tn := tuning.Default()
+	tn.Shards = 4
+	tn.ShardRange = 4
+	c, err := shard.NewCoordinator(shard.CoordinatorConfig{Tuning: tn, KeySeed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Bootstrap 48 members -- 12 routing blocks dealt over 4 shards.
+	for m := 0; m < 48; m++ {
+		if err := c.QueueJoin(keytree.Member(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boot, err := c.Rekey(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wboot, err := boot.Materialize(memberBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Registration: each member gets only ID, individual key and group
+	// constants -- path keys come off the wire, as in the UDP transport.
+	newMember := func(m keytree.Member) *rekey.Member {
+		uid, ok := c.UserID(m)
+		if !ok {
+			t.Fatalf("no user ID for member %d", m)
+		}
+		ik, ok := c.IndividualKey(m)
+		if !ok {
+			t.Fatalf("no individual key for member %d", m)
+		}
+		mem, err := rekey.NewMember(rekey.Credentials{
+			Member: m, NodeID: uid, Key: ik,
+			Degree: c.Degree(), BlockSize: memberBlockSize,
+		})
+		if err != nil {
+			t.Fatalf("member %d: %v", m, err)
+		}
+		return mem
+	}
+	members := make(map[keytree.Member]*rekey.Member)
+	for _, m := range c.Members() {
+		members[m] = newMember(m)
+	}
+	for m, mem := range members {
+		s, _, ok := wboot.PacketFor(mustUID(t, c, m))
+		if !ok {
+			t.Fatalf("no bootstrap packet for member %d", m)
+		}
+		ingestChannel(t, mem, wboot.PerShard[s], true)
+		gk, ok := mem.GroupKey()
+		if !ok || gk != c.GroupKey() {
+			t.Fatalf("member %d not keyed after bootstrap (ok=%v)", m, ok)
+		}
+	}
+
+	// Churn touching every shard: five leavers, three joiners.
+	leaves := []keytree.Member{1, 5, 9, 13, 17}
+	joins := []keytree.Member{100, 201, 302}
+	for _, m := range leaves {
+		if err := c.QueueLeave(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range joins {
+		if err := c.QueueJoin(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := c.Rekey(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := merged.Materialize(memberBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evicted := make(map[keytree.Member]*rekey.Member)
+	for _, m := range leaves {
+		evicted[m] = members[m]
+		delete(members, m)
+	}
+	for _, m := range joins {
+		members[m] = newMember(m)
+	}
+
+	want := c.GroupKey()
+	usrDone := false
+	for m, mem := range members {
+		uid := mustUID(t, c, m)
+		if !usrDone {
+			// One member recovers from its unicast USR packet alone.
+			usr, err := w.USRFor(uid)
+			if err != nil {
+				t.Fatalf("USRFor(%d): %v", uid, err)
+			}
+			raw, err := usr.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mem.Ingest(raw); err != nil {
+				t.Fatalf("member %d USR ingest: %v", m, err)
+			}
+			usrDone = true
+		} else {
+			s, _, ok := w.PacketFor(uid)
+			if !ok {
+				t.Fatalf("no packet for member %d (uid %d)", m, uid)
+			}
+			ingestChannel(t, mem, w.PerShard[s], true)
+		}
+		gk, ok := mem.GroupKey()
+		if !ok {
+			t.Fatalf("member %d has no group key after churn interval", m)
+		}
+		if gk != want {
+			t.Fatalf("member %d derived the wrong group key", m)
+		}
+	}
+
+	// Forward secrecy on the wire: an evicted member replaying every
+	// channel of the new interval must never reach the new group key.
+	for m, mem := range evicted {
+		for s := range w.PerShard {
+			ingestChannel(t, mem, w.PerShard[s], false)
+		}
+		if gk, ok := mem.GroupKey(); ok && gk == want {
+			t.Fatalf("evicted member %d recovered the new group key", m)
+		}
+	}
+}
+
+func mustUID(t *testing.T, c *shard.Coordinator, m keytree.Member) int {
+	t.Helper()
+	uid, ok := c.UserID(m)
+	if !ok {
+		t.Fatalf("no user ID for member %d", m)
+	}
+	return uid
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardSuiteQuick runs the quick-scale scale-out suite end to end
+// and sanity-checks every row: oracles silent, failover exercised at
+// every multi-shard count, single-shard rows free of top-tree
+// encryptions, and the rendered table well-formed. Speedup magnitude is
+// deliberately not asserted here (timer noise under `go test -race` and
+// loaded runners); ShardCheck owns the lenient CI floor.
+func TestShardSuiteQuick(t *testing.T) {
+	cells := RunShardSuite(Options{Quick: true, Seed: 7})
+	wantRows := len(shardScenarioSpecs()) * len(ShardCounts())
+	if len(cells) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(cells), wantRows)
+	}
+	for _, c := range cells {
+		if !c.OK {
+			t.Errorf("%s/%d shards failed: %s", c.Scenario, c.Shards, c.Err)
+		}
+		if c.Violations != 0 {
+			t.Errorf("%s/%d shards: %d oracle violations", c.Scenario, c.Shards, c.Violations)
+		}
+		if c.Rekeys == 0 || c.Encs == 0 || c.Checks == 0 || c.Changes == 0 {
+			t.Errorf("vacuous row %s/%d: %+v", c.Scenario, c.Shards, c)
+		}
+		if c.Shards == 1 {
+			if c.TopEncs != 0 {
+				t.Errorf("%s/1 shard: %d top-tree encryptions, want 0", c.Scenario, c.TopEncs)
+			}
+			if c.Restores != 0 {
+				t.Errorf("%s/1 shard: %d restores, want 0", c.Scenario, c.Restores)
+			}
+		} else {
+			if c.TopEncs == 0 {
+				t.Errorf("%s/%d shards: no top-tree encryptions", c.Scenario, c.Shards)
+			}
+			if c.Restores == 0 {
+				t.Errorf("%s/%d shards: mid-run failover never exercised", c.Scenario, c.Shards)
+			}
+		}
+	}
+	md := ShardMarkdown(cells)
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	if len(lines) != wantRows+2 {
+		t.Fatalf("table has %d lines, want %d", len(lines), wantRows+2)
+	}
+	if !strings.Contains(md, "| diurnal | 4 |") {
+		t.Fatal("table missing the diurnal 4-shard row")
+	}
+}

@@ -123,33 +123,6 @@ type Tree struct {
 	strat Strategy
 }
 
-// SetLite toggles lite mode (see the lite field). Returns the tree for
-// chaining.
-//
-// Deprecated: pass WithLite to New instead.
-func (t *Tree) SetLite(lite bool) *Tree {
-	t.lite = lite
-	return t
-}
-
-// SetWorkers bounds the worker pool of the parallel batch pipeline;
-// n <= 0 means GOMAXPROCS. Returns the tree for chaining.
-//
-// Deprecated: pass WithWorkers to New instead.
-func (t *Tree) SetWorkers(n int) *Tree {
-	t.workers = n
-	return t
-}
-
-// SetObs attaches a metrics registry (nil detaches). Returns the tree
-// for chaining.
-//
-// Deprecated: pass WithObs to New instead.
-func (t *Tree) SetObs(r *obs.Registry) *Tree {
-	t.reg = r
-	return t
-}
-
 // New returns an empty key tree of the given degree (d >= 2), using the
 // PaperMarking placement strategy unless WithStrategy overrides it.
 func New(d int, gen *keys.Generator, opts ...Option) *Tree {
@@ -259,6 +232,11 @@ func (t *Tree) Members() []Member {
 	sort.Slice(ms, func(i, j int) bool { return t.loc[ms[i]] < t.loc[ms[j]] })
 	return ms
 }
+
+// UserIDs returns a copy of the sorted list of current u-node IDs.
+// Shard coordinators read it to build assignment slices for shards
+// whose tree did not change in an interval.
+func (t *Tree) UserIDs() []int { return t.userIDs() }
 
 // PathKeys returns the keys a member should hold after a successful
 // rekey: its individual key plus the keys of every k-node on its path to
@@ -485,6 +463,29 @@ func (r *BatchResult) Encryption(id int) (Encryption, bool) {
 		return Encryption{}, false
 	}
 	return r.Encryptions[i], true
+}
+
+// MaxKIDFor returns the maximum k-node ID governing user userID's
+// Theorem 4.2 rederivation. For a single tree that is the global
+// MaxKID regardless of the user; sharded batches (internal/shard)
+// return the per-shard globalized value. Part of the oracle's Batch
+// interface.
+func (r *BatchResult) MaxKIDFor(int) int { return r.MaxKID }
+
+// PacketMaxKID returns the MaxKID value stamped into every ENC packet
+// materialised from this batch. Part of the assign Source interface.
+func (r *BatchResult) PacketMaxKID() int { return r.MaxKID }
+
+// UserList returns the sorted post-batch u-node IDs. Part of the
+// assign Source interface (mirrors the UserIDs field).
+func (r *BatchResult) UserList() []int { return r.UserIDs }
+
+// ForEachEncryption calls fn for every encryption of the batch in
+// generation order. Part of the oracle's Batch interface.
+func (r *BatchResult) ForEachEncryption(fn func(Encryption)) {
+	for i := range r.Encryptions {
+		fn(r.Encryptions[i])
+	}
 }
 
 // UserNeeds returns, in bottom-up order, the encryptions user userID

@@ -72,32 +72,20 @@ func TestTreeDefaults(t *testing.T) {
 	}
 }
 
-// TestOptionsMatchDeprecatedSetters: the functional options and the
-// deprecated chained setters configure identical trees, proven by
-// byte-identical batch output.
-func TestOptionsMatchDeprecatedSetters(t *testing.T) {
+// TestWithLiteMatchesFullCounts: a lite tree emits the same
+// encryption IDs and counts as a full tree, just without ciphertext.
+func TestWithLiteMatchesFullCounts(t *testing.T) {
 	reg := obs.New()
-	viaOpts := New(3, keys.NewDeterministicGenerator(42),
+	full := New(3, keys.NewDeterministicGenerator(42),
 		WithWorkers(2), WithObs(reg), WithLite(false))
-	viaSetters := New(3, keys.NewDeterministicGenerator(42)).
-		SetWorkers(2).SetObs(reg).SetLite(false)
 
 	joins := make([]Member, 50)
 	for i := range joins {
 		joins[i] = Member(i)
 	}
-	r1, err1 := viaOpts.ProcessBatch(joins, nil)
-	r2, err2 := viaSetters.ProcessBatch(joins, nil)
-	if err1 != nil || err2 != nil {
-		t.Fatal(err1, err2)
-	}
-	if r1.GroupKey != r2.GroupKey || len(r1.Encryptions) != len(r2.Encryptions) {
-		t.Fatal("options-built and setter-built trees diverge")
-	}
-	for i := range r1.Encryptions {
-		if r1.Encryptions[i] != r2.Encryptions[i] {
-			t.Fatalf("encryption %d differs between options and setters", i)
-		}
+	r1, err := full.ProcessBatch(joins, nil)
+	if err != nil {
+		t.Fatal(err)
 	}
 
 	lite := New(3, keys.NewDeterministicGenerator(42), WithLite(true))

@@ -84,6 +84,12 @@ const (
 	// broken (forward secrecy, key consistency or a recovery bound).
 	COracleChecks
 	COracleViolations
+	// Sharded server side.
+	// CShardBatches counts per-shard ProcessPending batches the
+	// coordinator ran; CShardRestores counts mid-run shard failovers
+	// restored from a snapshot.
+	CShardBatches
+	CShardRestores
 
 	numCounters
 )
@@ -115,6 +121,8 @@ var counterNames = [numCounters]string{
 	CScenarioSteps:    "scenario_steps",
 	COracleChecks:     "oracle_checks",
 	COracleViolations: "oracle_violations",
+	CShardBatches:     "shard_batches",
+	CShardRestores:    "shard_restores",
 }
 
 // Gauge identifies a last-value-wins measurement.
@@ -157,6 +165,12 @@ const (
 	HRekeyBuild
 	// HParityEncode is seconds per PrecomputeParity fan-out.
 	HParityEncode
+	// HShardBatch is seconds per shard ProcessPending batch (one
+	// shard's share of a coordinator interval).
+	HShardBatch
+	// HCoordMerge is seconds the coordinator spends merging shard
+	// results under the top tree and signing, per interval.
+	HCoordMerge
 
 	numHists
 )
@@ -168,6 +182,8 @@ var histNames = [numHists]string{
 	HBatchSize:      "batch_size",
 	HRekeyBuild:     "rekey_build_s",
 	HParityEncode:   "parity_encode_s",
+	HShardBatch:     "shard_batch_s",
+	HCoordMerge:     "coord_merge_s",
 }
 
 // histBounds are each histogram's bucket upper bounds (a final +Inf
@@ -179,6 +195,8 @@ var histBounds = [numHists][]float64{
 	HBatchSize:      {1, 2, 5, 10, 20, 50, 100, 500, 1000, 5000},
 	HRekeyBuild:     {0.0001, 0.0005, 0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1, 5},
 	HParityEncode:   {0.0001, 0.0005, 0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1, 5},
+	HShardBatch:     {0.0001, 0.0005, 0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1, 5},
+	HCoordMerge:     {0.00001, 0.0001, 0.0005, 0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1},
 }
 
 // EventKind types a trace event.

@@ -1,0 +1,573 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/keytree"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/tuning"
+)
+
+// CoordinatorConfig configures a Coordinator.
+type CoordinatorConfig struct {
+	// Tuning supplies Degree, K, the Shards/ShardRange routing knobs
+	// and the coordinator's parallelism bound (Workers).
+	tuning.Tuning
+	// KeySeed, when non-zero, derives one deterministic generator per
+	// shard (plus one for the top tree) -- tests and experiments only.
+	KeySeed uint64
+	// ShardWorkers bounds each shard tree's internal wrap pipeline;
+	// 0 inherits Tuning.Workers. Scale-out harnesses set 1 so a shard
+	// models one single-core server and the speedup measured is the
+	// coordinator's horizontal fan-out, not intra-batch threading.
+	ShardWorkers int
+	// Signer, when non-nil, signs every merged interval's canonical
+	// digest -- one signature per consistent cut, however many shards
+	// contributed.
+	Signer *keys.Signer
+	// Obs receives coordinator and shard metrics; nil disables them.
+	Obs *obs.Registry
+}
+
+// topNode is one coordinator-level internal node: the thin root-path
+// layer above the shard trees.
+type topNode struct {
+	keyed bool
+	key   keys.Key
+}
+
+// Coordinator routes membership changes to shards and merges their
+// interval batches into one consistent-cut rekey message. It is safe
+// for concurrent use.
+type Coordinator struct {
+	d, k     int
+	rangeW   int
+	workers  int
+	keySeed  uint64
+	signer   *keys.Signer
+	reg      *obs.Registry
+	shards   []*Shard
+	topLevel int // top-tree height H: the level of the shard leaf slots
+	leafBase int // A(H): global ID of the first leaf slot
+
+	mu sync.Mutex
+	// The state below is guarded by mu.
+	top      []topNode // guarded by mu; internal top nodes, IDs [0, leafBase)
+	topGen   *keys.Generator // guarded by mu
+	msgSeq   uint8           // guarded by mu
+	restores int             // guarded by mu; counts RestoreShard calls for gen derivation
+}
+
+// shardSeedSalt separates the deterministic generator streams of
+// shards, the top tree and failover restores (splitmix64 constant).
+const shardSeedSalt = 0x9e3779b97f4a7c15
+
+// laneSeed derives one decorrelated generator seed per lane (top tree,
+// each shard, each failover restore) from a single KeySeed. splitmix64's
+// state space is one additive orbit, so naive seed+offset derivations
+// can land two lanes on the same stream -- the XOR inside the
+// deterministic generator cancels exactly for small seeds, which a
+// coordinator fuzz run caught as a cross-shard key-value collision.
+// Running the lane through the splitmix64 finalizer scatters lanes to
+// astronomically distant orbit positions.
+func laneSeed(seed, lane uint64) uint64 {
+	z := seed ^ (lane+1)*shardSeedSalt
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewCoordinator builds S empty shards under a top tree. S and the
+// routing block width come from the tuning knobs (EffectiveShards /
+// EffectiveShardRange).
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	cfg.Tuning = cfg.Tuning.WithDefaults()
+	if err := cfg.Tuning.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	strat, err := keytree.NewStrategy(cfg.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	s := cfg.EffectiveShards()
+	d := cfg.Degree
+	shardWorkers := cfg.ShardWorkers
+	if shardWorkers == 0 {
+		shardWorkers = cfg.Workers
+	}
+	c := &Coordinator{
+		d:        d,
+		k:        cfg.K,
+		rangeW:   cfg.EffectiveShardRange(),
+		workers:  cfg.EffectiveWorkers(),
+		keySeed:  cfg.KeySeed,
+		signer:   cfg.Signer,
+		reg:      cfg.Obs,
+		topLevel: topHeight(d, s),
+	}
+	c.leafBase = LevelStart(d, c.topLevel)
+	c.top = make([]topNode, c.leafBase)
+	if cfg.KeySeed != 0 {
+		c.topGen = keys.NewDeterministicGenerator(laneSeed(cfg.KeySeed, 0))
+	} else {
+		c.topGen = keys.NewGenerator()
+	}
+	for i := 0; i < s; i++ {
+		var gen *keys.Generator
+		if cfg.KeySeed != 0 {
+			gen = keys.NewDeterministicGenerator(laneSeed(cfg.KeySeed, uint64(i)+1))
+		}
+		sh, err := New(Config{
+			Index:    i,
+			Degree:   d,
+			Workers:  shardWorkers,
+			Strategy: strat,
+			Gen:      gen,
+			Obs:      cfg.Obs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.shards = append(c.shards, sh)
+	}
+	return c, nil
+}
+
+// Shards returns the shard count S.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// Degree returns the composite tree's degree.
+func (c *Coordinator) Degree() int { return c.d }
+
+// TopLevel returns the top-tree height H (shard roots sit at level H).
+func (c *Coordinator) TopLevel() int { return c.topLevel }
+
+// Pos returns the global node ID of shard s's root (its leaf slot).
+func (c *Coordinator) Pos(s int) int { return c.leafBase + s }
+
+// Shard returns shard s, the addressable unit (snapshots, failover,
+// direct inspection).
+func (c *Coordinator) Shard(s int) *Shard { return c.shards[s] }
+
+// ShardFor returns the shard index owning member m: W-wide contiguous
+// member-ID blocks dealt round-robin, so sequentially allocated
+// populations spread evenly.
+func (c *Coordinator) ShardFor(m keytree.Member) int {
+	return int((int64(m) / int64(c.rangeW)) % int64(len(c.shards)))
+}
+
+// QueueJoin routes a join to its shard.
+func (c *Coordinator) QueueJoin(m keytree.Member) error {
+	if m < 0 {
+		return fmt.Errorf("shard: negative member handle %d", m)
+	}
+	return c.shards[c.ShardFor(m)].QueueJoin(m)
+}
+
+// QueueLeave routes a leave to its shard.
+func (c *Coordinator) QueueLeave(m keytree.Member) error {
+	if m < 0 {
+		return fmt.Errorf("shard: negative member handle %d", m)
+	}
+	return c.shards[c.ShardFor(m)].QueueLeave(m)
+}
+
+// Pending sums queued joins and leaves across shards.
+func (c *Coordinator) Pending() (joins, leaves int) {
+	for _, sh := range c.shards {
+		j, l := sh.Pending()
+		joins += j
+		leaves += l
+	}
+	return joins, leaves
+}
+
+// N returns the group size across all shards.
+func (c *Coordinator) N() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += sh.N()
+	}
+	return n
+}
+
+// ErrNoChange is returned by Rekey when no shard has pending
+// membership changes.
+var ErrNoChange = errors.New("shard: no pending membership changes")
+
+// Rekey ends one interval: every shard with pending changes runs its
+// batch in parallel, then the coordinator refreshes the top-tree keys
+// on every changed shard's root path, wraps them for the live
+// children, and returns the merged consistent-cut message -- signed
+// once if a signer is configured.
+//
+// A cancelled ctx stops the interval before any shard batch that has
+// not yet started; batches already running are allowed to finish so
+// that no shard is left mid-mutation. Cancellation abandons the
+// interval: completed batches keep their new tree state but their
+// results are discarded, so the caller must treat the group session
+// as broken and re-bootstrap members rather than retry.
+func (c *Coordinator) Rekey(ctx context.Context) (*Merged, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var pend []int
+	for i, sh := range c.shards {
+		if j, l := sh.Pending(); j+l > 0 {
+			pend = append(pend, i)
+		}
+	}
+	if len(pend) == 0 {
+		return nil, ErrNoChange
+	}
+	msgID := c.msgSeq & packet.MaxMsgID
+	c.msgSeq++
+
+	// Phase 1: shard batches, in parallel, bounded by the coordinator's
+	// worker knob. Each shard draws from its own generator, so the
+	// results do not depend on scheduling order.
+	results := make([]*keytree.BatchResult, len(c.shards))
+	errs := make([]error, len(c.shards))
+	batchNs := make([]int64, len(c.shards))
+	sem := make(chan struct{}, c.workers)
+	var wg sync.WaitGroup
+	var ctxErr error
+	for _, i := range pend {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+		}
+		if ctxErr != nil {
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			results[i], errs[i] = c.shards[i].ProcessPending()
+			batchNs[i] = time.Since(start).Nanoseconds()
+		}(i)
+	}
+	wg.Wait()
+	if ctxErr != nil {
+		return nil, fmt.Errorf("shard: rekey interval interrupted: %w", ctxErr)
+	}
+	for _, i := range pend {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+
+	// Phase 2: the merge -- top-tree rekey plus slice assembly, the
+	// serial root-path work that must stay thin for scale-out to hold.
+	mergeStart := time.Now()
+	m, err := c.mergeLocked(msgID, results)
+	if err != nil {
+		return nil, err
+	}
+	if c.signer != nil {
+		sig, err := c.signer.Sign(m.SignedBytes())
+		if err != nil {
+			return nil, fmt.Errorf("shard: signing merged message: %w", err)
+		}
+		m.Sig = sig
+	}
+	m.MergeNs = time.Since(mergeStart).Nanoseconds()
+	m.ShardBatchNs = batchNs
+	if c.reg.Enabled() {
+		c.reg.ObserveSince(obs.HCoordMerge, mergeStart)
+	}
+	return m, nil
+}
+
+// mergeLocked refreshes the top tree for the interval's changed shards
+// and assembles the Merged message. Callers hold c.mu.
+func (c *Coordinator) mergeLocked(msgID uint8, results []*keytree.BatchResult) (*Merged, error) {
+	d := c.d
+	// live[t]: does top subtree t contain any current member? Leaves
+	// consult the (post-batch) shard populations; internal nodes fold
+	// their children bottom-up (children have larger IDs).
+	liveLeaf := func(id int) bool {
+		s := id - c.leafBase
+		return s >= 0 && s < len(c.shards) && c.shards[s].N() > 0
+	}
+	live := make([]bool, c.leafBase)
+	for t := c.leafBase - 1; t >= 0; t-- {
+		for ch := d*t + 1; ch <= d*t+d; ch++ {
+			if ch < c.leafBase {
+				if live[ch] {
+					live[t] = true
+					break
+				}
+			} else if liveLeaf(ch) {
+				live[t] = true
+				break
+			}
+		}
+	}
+
+	// Mark the root path of every changed shard. With a single shard
+	// there is no top tree (the shard root is the group root) and no
+	// marking to do.
+	marked := make(map[int]bool)
+	for s, res := range results {
+		if res == nil || c.leafBase == 0 {
+			continue
+		}
+		for p := (c.Pos(s) - 1) / d; ; p = (p - 1) / d {
+			marked[p] = true
+			if p == 0 {
+				break
+			}
+		}
+	}
+	markedIDs := make([]int, 0, len(marked))
+	for t := range marked {
+		markedIDs = append(markedIDs, t)
+	}
+	// Fresh keys are drawn in ascending-ID order (deterministic), then
+	// encryptions are emitted deepest level first -- the same bottom-up
+	// convention keytree uses, with every child key read after all
+	// marked keys are installed (a consistent cut).
+	sort.Ints(markedIDs)
+	fresh, err := c.topGen.NewKeys(len(markedIDs))
+	if err != nil {
+		return nil, fmt.Errorf("shard: top-tree key generation: %w", err)
+	}
+	for i, t := range markedIDs {
+		c.top[t] = topNode{keyed: true, key: fresh[i]}
+	}
+	emitOrder := append([]int(nil), markedIDs...)
+	sort.Slice(emitOrder, func(i, j int) bool {
+		li, lj := Level(d, emitOrder[i]), Level(d, emitOrder[j])
+		if li != lj {
+			return li > lj
+		}
+		return emitOrder[i] < emitOrder[j]
+	})
+	var topEncs []keytree.Encryption
+	for _, t := range emitOrder {
+		for ch := d*t + 1; ch <= d*t+d; ch++ {
+			var ck keys.Key
+			switch {
+			case ch < c.leafBase:
+				if !live[ch] || !c.top[ch].keyed {
+					continue
+				}
+				ck = c.top[ch].key
+			default:
+				s := ch - c.leafBase
+				if s < 0 || s >= len(c.shards) || c.shards[s].N() == 0 {
+					continue
+				}
+				ck = c.shards[s].RootKey()
+			}
+			topEncs = append(topEncs, keytree.Encryption{
+				ID:      uint32(ch),
+				Wrapped: keys.Wrap(ck, c.top[t].key),
+			})
+		}
+	}
+
+	m := &Merged{
+		MsgID:    msgID,
+		TopEncs:  topEncs,
+		d:        d,
+		topLevel: c.topLevel,
+		leafBase: c.leafBase,
+		topByID:  make(map[int]keytree.Encryption, len(topEncs)),
+	}
+	for _, e := range topEncs {
+		m.topByID[int(e.ID)] = e
+	}
+	for s, sh := range c.shards {
+		pos := c.Pos(s)
+		sl := &Slice{m: m, Index: s, Pos: pos, Res: results[s], MaxKID: -1}
+		var localUIDs []int
+		var localMax int
+		if results[s] != nil {
+			localUIDs, localMax = results[s].UserIDs, results[s].MaxKID
+		} else {
+			localUIDs, localMax = sh.UserIDs(), sh.MaxKID()
+		}
+		if localMax >= 0 {
+			sl.MaxKID = globalize(d, pos, localMax)
+		}
+		sl.userIDs = make([]int, len(localUIDs))
+		for i, u := range localUIDs {
+			sl.userIDs[i] = globalize(d, pos, u)
+		}
+		m.Slices = append(m.Slices, sl)
+	}
+	m.GroupKey = c.groupKeyLocked()
+	return m, nil
+}
+
+// groupKeyLocked returns the composite group key: the top root's key,
+// or with a single shard the shard root itself. Callers hold c.mu.
+func (c *Coordinator) groupKeyLocked() keys.Key {
+	if c.leafBase == 0 {
+		return c.shards[0].RootKey()
+	}
+	if !c.top[0].keyed {
+		return keys.Key{}
+	}
+	return c.top[0].key
+}
+
+// RestoreShard replaces shard s's tree from a snapshot, modelling a
+// shard-server failover mid-run. The restored shard draws future keys
+// from a fresh stream (derived deterministically under KeySeed).
+func (c *Coordinator) RestoreShard(s int, snapshot []byte) error {
+	if s < 0 || s >= len(c.shards) {
+		return fmt.Errorf("shard: restore index %d out of range [0,%d)", s, len(c.shards))
+	}
+	c.mu.Lock()
+	c.restores++
+	var gen *keys.Generator
+	if c.keySeed != 0 {
+		// Restore lanes follow the shard lanes: lane S+r for restore r.
+		gen = keys.NewDeterministicGenerator(laneSeed(c.keySeed, uint64(len(c.shards))+uint64(c.restores)))
+	} else {
+		gen = keys.NewGenerator()
+	}
+	c.mu.Unlock()
+	return c.shards[s].Restore(snapshot, gen)
+}
+
+// --- oracle.TreeView over the composite tree ---
+
+// Members returns every member across shards, sorted by global ID.
+func (c *Coordinator) Members() []keytree.Member {
+	type mu struct {
+		m  keytree.Member
+		id int
+	}
+	var all []mu
+	for s, sh := range c.shards {
+		pos := c.Pos(s)
+		for _, m := range sh.Members() {
+			lid, _ := sh.UserID(m)
+			all = append(all, mu{m, globalize(c.d, pos, lid)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	out := make([]keytree.Member, len(all))
+	for i, e := range all {
+		out[i] = e.m
+	}
+	return out
+}
+
+// UserID returns member m's global u-node ID.
+func (c *Coordinator) UserID(m keytree.Member) (int, bool) {
+	sh := c.shards[c.ShardFor(m)]
+	lid, ok := sh.UserID(m)
+	if !ok {
+		return 0, false
+	}
+	return globalize(c.d, c.Pos(sh.Index()), lid), true
+}
+
+// IndividualKey returns member m's individual key.
+func (c *Coordinator) IndividualKey(m keytree.Member) (keys.Key, bool) {
+	return c.shards[c.ShardFor(m)].IndividualKey(m)
+}
+
+// PathKeys returns the keys member m should hold, keyed by global node
+// ID: its shard path globalized plus the top-tree keys above its
+// shard's root.
+func (c *Coordinator) PathKeys(m keytree.Member) (map[int]keys.Key, bool) {
+	sh := c.shards[c.ShardFor(m)]
+	local, ok := sh.PathKeys(m)
+	if !ok {
+		return nil, false
+	}
+	pos := c.Pos(sh.Index())
+	out := make(map[int]keys.Key, len(local)+c.topLevel)
+	for id, k := range local {
+		out[globalize(c.d, pos, id)] = k
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for p := pos; p > 0; {
+		p = (p - 1) / c.d
+		if c.top[p].keyed {
+			out[p] = c.top[p].key
+		}
+	}
+	return out, true
+}
+
+// GroupKey returns the composite group key.
+func (c *Coordinator) GroupKey() keys.Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.groupKeyLocked()
+}
+
+// NodeKey resolves the key at a global node ID: a top-tree node or a
+// globalized shard node.
+func (c *Coordinator) NodeKey(id int) (keys.Key, keytree.NodeKind, bool) {
+	if id < 0 {
+		return keys.Key{}, keytree.NNode, false
+	}
+	if id < c.leafBase {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if !c.top[id].keyed {
+			return keys.Key{}, keytree.NNode, false
+		}
+		return c.top[id].key, keytree.KNode, true
+	}
+	sh, local, ok := c.resolve(id)
+	if !ok {
+		return keys.Key{}, keytree.NNode, false
+	}
+	return sh.NodeKey(local)
+}
+
+// resolve maps a global ID at or below the leaf level to its owning
+// shard and local ID.
+func (c *Coordinator) resolve(id int) (*Shard, int, bool) {
+	l := Level(c.d, id) - c.topLevel
+	if l < 0 {
+		return nil, 0, false
+	}
+	anc := id
+	for i := 0; i < l; i++ {
+		anc = (anc - 1) / c.d
+	}
+	s := anc - c.leafBase
+	if s < 0 || s >= len(c.shards) {
+		return nil, 0, false
+	}
+	return c.shards[s], id - anc*pow(c.d, l), true
+}
+
+// ForEachKNode sweeps every live auxiliary key of the composite tree:
+// the keyed top nodes, then each shard's k-nodes globalized.
+func (c *Coordinator) ForEachKNode(fn func(id int, k keys.Key)) {
+	c.mu.Lock()
+	for id := range c.top {
+		if c.top[id].keyed {
+			fn(id, c.top[id].key)
+		}
+	}
+	c.mu.Unlock()
+	for s, sh := range c.shards {
+		pos := c.Pos(s)
+		sh.ForEachKNode(func(id int, k keys.Key) {
+			fn(globalize(c.d, pos, id), k)
+		})
+	}
+}

@@ -1,0 +1,425 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/keytree"
+	"repro/internal/oracle"
+	"repro/internal/tuning"
+)
+
+func newTestCoordinator(t testing.TB, shards, shardRange int, seed uint64) *Coordinator {
+	t.Helper()
+	tn := tuning.Default()
+	tn.Shards = shards
+	tn.ShardRange = shardRange
+	c, err := NewCoordinator(CoordinatorConfig{Tuning: tn, KeySeed: seed})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	return c
+}
+
+func queueAll(t testing.TB, c *Coordinator, joins, leaves []keytree.Member) {
+	t.Helper()
+	for _, m := range joins {
+		if err := c.QueueJoin(m); err != nil {
+			t.Fatalf("QueueJoin(%d): %v", m, err)
+		}
+	}
+	for _, m := range leaves {
+		if err := c.QueueLeave(m); err != nil {
+			t.Fatalf("QueueLeave(%d): %v", m, err)
+		}
+	}
+}
+
+// A single-shard coordinator is the unsharded server: no top tree, no
+// top encryptions, and an interval output byte-identical to a plain
+// keytree fed the same batches from the same generator stream.
+func TestSingleShardMatchesPlainTree(t *testing.T) {
+	const seed = 7
+	c := newTestCoordinator(t, 1, 0, seed)
+	// Shard 0's generator: the same lane derivation NewCoordinator uses.
+	tree := keytree.New(4, keys.NewDeterministicGenerator(laneSeed(seed, 1)))
+
+	var joins []keytree.Member
+	for m := 0; m < 100; m++ {
+		joins = append(joins, keytree.Member(m))
+	}
+	leaves := []keytree.Member{3, 17, 55}
+
+	intervals := [][2][]keytree.Member{{joins, nil}, {{200, 201}, leaves}}
+	for i, iv := range intervals {
+		queueAll(t, c, iv[0], iv[1])
+		m, err := c.Rekey(context.Background())
+		if err != nil {
+			t.Fatalf("interval %d: Rekey: %v", i, err)
+		}
+		res, err := tree.ProcessBatch(iv[0], iv[1])
+		if err != nil {
+			t.Fatalf("interval %d: ProcessBatch: %v", i, err)
+		}
+		if len(m.TopEncs) != 0 {
+			t.Fatalf("interval %d: S=1 produced %d top encryptions", i, len(m.TopEncs))
+		}
+		if m.GroupKey != res.GroupKey {
+			t.Fatalf("interval %d: group key mismatch", i)
+		}
+		sl := m.Slices[0]
+		if sl.MaxKID != res.MaxKID {
+			t.Fatalf("interval %d: MaxKID %d, want %d", i, sl.MaxKID, res.MaxKID)
+		}
+		var got []keytree.Encryption
+		m.ForEachEncryption(func(e keytree.Encryption) { got = append(got, e) })
+		if len(got) != len(res.Encryptions) {
+			t.Fatalf("interval %d: %d encryptions, want %d", i, len(got), len(res.Encryptions))
+		}
+		for j := range got {
+			if got[j] != res.Encryptions[j] {
+				t.Fatalf("interval %d: encryption %d differs: %v vs %v", i, j, got[j], res.Encryptions[j])
+			}
+		}
+	}
+}
+
+func TestRekeyNoChange(t *testing.T) {
+	c := newTestCoordinator(t, 2, 4, 1)
+	if _, err := c.Rekey(context.Background()); !errors.Is(err, ErrNoChange) {
+		t.Fatalf("Rekey on empty queues: %v, want ErrNoChange", err)
+	}
+}
+
+func TestRoutingAndQueueValidation(t *testing.T) {
+	c := newTestCoordinator(t, 4, 8, 1)
+	// (m/8) mod 4: members 0-7 -> shard 0, 8-15 -> shard 1, 32-39 -> shard 0.
+	for m, want := range map[keytree.Member]int{0: 0, 7: 0, 8: 1, 31: 3, 32: 0, 1000: 1} {
+		if got := c.ShardFor(m); got != want {
+			t.Fatalf("ShardFor(%d) = %d, want %d", m, got, want)
+		}
+	}
+	if err := c.QueueJoin(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.QueueJoin(5); err == nil {
+		t.Fatal("duplicate queued join not rejected")
+	}
+	if err := c.QueueLeave(6); err == nil {
+		t.Fatal("leave of absent member not rejected")
+	}
+	if err := c.QueueJoin(-1); err == nil {
+		t.Fatal("negative member handle not rejected")
+	}
+}
+
+// churnRun drives a coordinator through scripted churn with the
+// protocol oracle attached, covering partial intervals (some shards
+// unchanged) and members spread across every shard.
+func churnRun(t *testing.T, c *Coordinator, intervals int, failoverAt int) {
+	t.Helper()
+	live := make(map[keytree.Member]bool)
+	next := keytree.Member(0)
+
+	var joins []keytree.Member
+	for i := 0; i < 150; i++ {
+		joins = append(joins, next)
+		live[next] = true
+		next++
+	}
+	queueAll(t, c, joins, nil)
+	if _, err := c.Rekey(context.Background()); err != nil {
+		t.Fatalf("bootstrap Rekey: %v", err)
+	}
+	orc := oracle.New(c, oracle.Config{MaxMulticastRounds: 2, MaxUnicastWaves: 8})
+	if err := orc.Bootstrap(); err != nil {
+		t.Fatalf("oracle Bootstrap: %v", err)
+	}
+
+	for iv := 1; iv <= intervals; iv++ {
+		joins = joins[:0]
+		var leaves []keytree.Member
+		if iv%3 == 0 {
+			// A narrow interval: churn confined to one member-ID block, so
+			// most shards see no batch (Res == nil slices on the wire).
+			joins = append(joins, next)
+			live[next] = true
+			next++
+		} else {
+			k := 0
+			for m := range live {
+				if int(m)%5 == iv%5 {
+					leaves = append(leaves, m)
+					delete(live, m)
+					if k++; k == 6 {
+						break
+					}
+				}
+			}
+			for j := 0; j < 8; j++ {
+				joins = append(joins, next)
+				live[next] = true
+				next++
+			}
+		}
+		queueAll(t, c, joins, leaves)
+		m, err := c.Rekey(context.Background())
+		if err != nil {
+			t.Fatalf("interval %d: Rekey: %v", iv, err)
+		}
+		if err := orc.ObserveBatch(m, joins, leaves); err != nil {
+			t.Fatalf("interval %d: oracle: %v", iv, err)
+		}
+		if iv == failoverAt {
+			// Crash-restart one shard from its own snapshot between
+			// intervals: the restored tree must be indistinguishable.
+			s := c.Shards() / 2
+			if err := c.RestoreShard(s, c.Shard(s).Snapshot()); err != nil {
+				t.Fatalf("interval %d: RestoreShard: %v", iv, err)
+			}
+			if got := c.Shard(s).Restores(); got != 1 {
+				t.Fatalf("shard %d restore count %d, want 1", s, got)
+			}
+		}
+	}
+	for s := 0; s < c.Shards(); s++ {
+		if err := c.Shard(s).CheckInvariant(); err != nil {
+			t.Fatalf("shard %d invariant: %v", s, err)
+		}
+	}
+	if got := orc.Members(); got != len(live) {
+		t.Fatalf("oracle tracks %d members, want %d", got, len(live))
+	}
+}
+
+func TestCoordinatorOracleInvariants(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		c := newTestCoordinator(t, shards, 8, 42+uint64(shards))
+		churnRun(t, c, 10, 0)
+	}
+}
+
+func TestFailoverRestoreMidRun(t *testing.T) {
+	c := newTestCoordinator(t, 4, 8, 99)
+	churnRun(t, c, 12, 6)
+}
+
+func TestSignedMergedVerifies(t *testing.T) {
+	signer, err := keys.NewSigner(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := tuning.Default()
+	tn.Shards = 2
+	tn.ShardRange = 4
+	c, err := NewCoordinator(CoordinatorConfig{Tuning: tn, KeySeed: 5, Signer: signer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joins []keytree.Member
+	for m := 0; m < 20; m++ {
+		joins = append(joins, keytree.Member(m))
+	}
+	queueAll(t, c, joins, nil)
+	m, err := c.Rekey(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Sig) == 0 {
+		t.Fatal("merged message not signed")
+	}
+	if err := VerifyMerged(signer.Public(), m); err != nil {
+		t.Fatalf("VerifyMerged: %v", err)
+	}
+	if len(m.TopEncs) == 0 {
+		t.Fatal("S=2 interval produced no top encryptions")
+	}
+	m.TopEncs[0].Wrapped[0] ^= 1
+	if err := VerifyMerged(signer.Public(), m); err == nil {
+		t.Fatal("tampered merged message still verifies")
+	}
+}
+
+// TestWireDeliversToMemberViews materialises a multi-shard interval
+// into per-shard ENC packets and replays each member's packet into a
+// client-side UserView exactly as a member would consume it: rederive
+// the ID from the packet's MaxKID, apply the packet's encryptions.
+// Every view must land on the coordinator's path keys and group key --
+// the member cannot tell it is talking to shards.
+func TestWireDeliversToMemberViews(t *testing.T) {
+	c := newTestCoordinator(t, 2, 4, 11)
+	var joins []keytree.Member
+	for m := 0; m < 16; m++ {
+		joins = append(joins, keytree.Member(m))
+	}
+	queueAll(t, c, joins, nil)
+	if _, err := c.Rekey(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Registration handout: ID, individual key, then full path keys.
+	views := make(map[keytree.Member]*keytree.UserView)
+	for _, m := range c.Members() {
+		uid, _ := c.UserID(m)
+		ik, _ := c.IndividualKey(m)
+		v := keytree.NewUserView(c.Degree(), m, uid, ik)
+		pk, ok := c.PathKeys(m)
+		if !ok {
+			t.Fatalf("no path keys for member %d", m)
+		}
+		for id, k := range pk {
+			v.Keys[id] = k
+		}
+		views[m] = v
+	}
+
+	leaves := []keytree.Member{2, 9}
+	newJoins := []keytree.Member{40, 41}
+	for _, m := range leaves {
+		delete(views, m)
+	}
+	queueAll(t, c, newJoins, leaves)
+	merged, err := c.Rekey(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := merged.Materialize(3)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if len(w.PerShard) != 2 {
+		t.Fatalf("%d shard channels, want 2", len(w.PerShard))
+	}
+
+	usrDone := false
+	for m, v := range views {
+		maxKID := merged.MaxKIDFor(v.ID)
+		newID, ok := keytree.NewID(v.D, v.ID, maxKID)
+		if !ok {
+			t.Fatalf("member %d: no post-batch ID (old %d, maxKID %d)", m, v.ID, maxKID)
+		}
+		if !usrDone {
+			// One member takes the unicast path.
+			usr, err := w.USRFor(newID)
+			if err != nil {
+				t.Fatalf("USRFor(%d): %v", newID, err)
+			}
+			if err := v.Apply(int(usr.MaxKID), usr.Encs); err != nil {
+				t.Fatalf("member %d: USR apply: %v", m, err)
+			}
+			usrDone = true
+		} else {
+			shardIdx, pkt, ok := w.PacketFor(newID)
+			if !ok {
+				t.Fatalf("member %d: no ENC packet for node %d", m, newID)
+			}
+			if want := c.ShardFor(m); shardIdx != want {
+				t.Fatalf("member %d served on channel %d, want %d", m, shardIdx, want)
+			}
+			if int(pkt.FrmID) > newID || newID > int(pkt.ToID) {
+				t.Fatalf("member %d: packet range [%d,%d] misses node %d", m, pkt.FrmID, pkt.ToID, newID)
+			}
+			if err := v.Apply(int(pkt.MaxKID), pkt.Encs); err != nil {
+				t.Fatalf("member %d: ENC apply: %v", m, err)
+			}
+		}
+		if v.ID != newID {
+			t.Fatalf("member %d: view ID %d, want %d", m, v.ID, newID)
+		}
+		want, _ := c.PathKeys(m)
+		for id, wk := range want {
+			if got, ok := v.Keys[id]; !ok || got != wk {
+				t.Fatalf("member %d: node %d key mismatch after apply", m, id)
+			}
+		}
+		gk, ok := v.GroupKey()
+		if !ok || gk != c.GroupKey() {
+			t.Fatalf("member %d did not converge to the group key", m)
+		}
+	}
+}
+
+// FuzzCoordinatorConsistency drives a small multi-shard coordinator
+// with a byte-scripted churn schedule under the full protocol oracle.
+func FuzzCoordinatorConsistency(f *testing.F) {
+	f.Add([]byte{2, 3, 0x1f, 0x02, 0xff, 0x07})
+	f.Add([]byte{4, 1, 0xaa, 0x55, 0x13, 0x37, 0x99, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		shards := 1 + int(data[0]%4)
+		c := newTestCoordinator(t, shards, 4, 1000+uint64(data[1]))
+		data = data[2:]
+
+		live := make(map[keytree.Member]bool)
+		var order []keytree.Member
+		next := keytree.Member(0)
+		for i := 0; i < 20; i++ {
+			if err := c.QueueJoin(next); err != nil {
+				t.Fatal(err)
+			}
+			live[next] = true
+			order = append(order, next)
+			next++
+		}
+		if _, err := c.Rekey(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		orc := oracle.New(c, oracle.Config{MaxMulticastRounds: 2, MaxUnicastWaves: 8})
+		if err := orc.Bootstrap(); err != nil {
+			t.Fatal(err)
+		}
+
+		for len(data) > 0 {
+			op := data[0]
+			data = data[1:]
+			var joins, leaves []keytree.Member
+			nj := int(op >> 4 & 0x7)
+			nl := int(op & 0x7)
+			for i := 0; i < nl && len(order) > 0; i++ {
+				// Deterministic victim: rotate through the join order.
+				m := order[int(op)%len(order)]
+				order = append(order[:int(op)%len(order)], order[int(op)%len(order)+1:]...)
+				if !live[m] {
+					continue
+				}
+				leaves = append(leaves, m)
+				delete(live, m)
+			}
+			for i := 0; i < nj; i++ {
+				joins = append(joins, next)
+				live[next] = true
+				order = append(order, next)
+				next++
+			}
+			for _, m := range joins {
+				if err := c.QueueJoin(m); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, m := range leaves {
+				if err := c.QueueLeave(m); err != nil {
+					t.Fatal(err)
+				}
+			}
+			m, err := c.Rekey(context.Background())
+			if errors.Is(err, ErrNoChange) {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := orc.ObserveBatch(m, joins, leaves); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for s := 0; s < c.Shards(); s++ {
+			if err := c.Shard(s).CheckInvariant(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,313 @@
+package shard
+
+import (
+	"crypto/rsa"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/assign"
+	"repro/internal/keys"
+	"repro/internal/keytree"
+	"repro/internal/packet"
+)
+
+// Slice is one shard's share of a merged interval: the shard's local
+// batch result viewed through globalized node IDs, plus access to the
+// top-tree encryptions sitting above the shard's root. It implements
+// assign.Source, so the UKA packer runs unchanged per shard channel.
+type Slice struct {
+	m *Merged
+	// Index is the owning shard's index; Pos its top-tree leaf slot.
+	Index, Pos int
+	// Res is the shard's local batch result; nil when the shard had no
+	// membership change this interval (its members may still need
+	// top-tree encryptions).
+	Res *keytree.BatchResult
+	// MaxKID is the shard's post-batch maximum k-node ID, globalized --
+	// the value members of this shard rederive their IDs against.
+	// Lemma 4.1 holds per shard subtree, not across the composite tree,
+	// which is why MaxKID is per slice rather than per message. -1 when
+	// the shard has never held a member.
+	MaxKID int
+	// userIDs are the shard's post-batch u-node IDs, globalized, sorted.
+	userIDs []int
+}
+
+// UserList returns the slice's post-batch global user IDs, ascending.
+// (Globalization is order-preserving within one shard subtree.)
+func (sl *Slice) UserList() []int { return sl.userIDs }
+
+// PacketMaxKID returns the globalized MaxKID stamped into this shard
+// channel's ENC packets.
+func (sl *Slice) PacketMaxKID() int { return sl.MaxKID }
+
+// Encryption resolves one encryption by global encrypting-node ID.
+func (sl *Slice) Encryption(id int) (keytree.Encryption, bool) {
+	return sl.m.encAt(id)
+}
+
+// AppendUserNeedIDs appends the global encryption IDs user userID needs:
+// its globalized shard path plus the keyed top-tree ancestors.
+func (sl *Slice) AppendUserNeedIDs(dst []uint32, userID int) []uint32 {
+	sl.m.forNeeds(userID, func(e keytree.Encryption) {
+		dst = append(dst, e.ID)
+	})
+	return dst
+}
+
+// Merged is one coordinator interval's consistent-cut output: every
+// changed shard's batch plus the top-tree encryptions that re-key the
+// root paths, under a single message ID and (optionally) a single
+// signature. It implements oracle.Batch over the composite ID space.
+type Merged struct {
+	MsgID uint8
+	// GroupKey is the composite group key after the interval.
+	GroupKey keys.Key
+	// Slices has exactly one entry per shard, indexed by shard.
+	Slices []*Slice
+	// TopEncs are the coordinator-level encryptions, deepest level
+	// first; each wraps a refreshed top key under a live child's key.
+	TopEncs []keytree.Encryption
+	// Sig is the signature over SignedBytes, when a signer is configured.
+	Sig []byte
+	// MergeNs is the coordinator's serial merge time for the interval.
+	MergeNs int64
+	// ShardBatchNs holds each shard's ProcessPending wall time for the
+	// interval, indexed by shard (zero for shards with no batch). The
+	// scale-out harness reads max(ShardBatchNs)+MergeNs as the
+	// interval's critical path.
+	ShardBatchNs []int64
+
+	d        int
+	topLevel int
+	leafBase int
+	topByID  map[int]keytree.Encryption
+}
+
+// Degree returns the composite tree degree.
+func (m *Merged) Degree() int { return m.d }
+
+// TotalEncryptions counts every encryption of the interval across
+// shard slices and the top tree.
+func (m *Merged) TotalEncryptions() int {
+	n := len(m.TopEncs)
+	for _, sl := range m.Slices {
+		if sl.Res != nil {
+			n += len(sl.Res.Encryptions)
+		}
+	}
+	return n
+}
+
+// sliceFor returns the slice owning global node id (a node at or below
+// the leaf level), or nil.
+func (m *Merged) sliceFor(id int) *Slice {
+	l := Level(m.d, id) - m.topLevel
+	if l < 0 {
+		return nil
+	}
+	anc := id
+	for i := 0; i < l; i++ {
+		anc = (anc - 1) / m.d
+	}
+	s := anc - m.leafBase
+	if s < 0 || s >= len(m.Slices) {
+		return nil
+	}
+	return m.Slices[s]
+}
+
+// encAt resolves the interval's encryption keyed by global node id:
+// top-tree encryptions first, then the owning shard's local result
+// with the ID globalized on the way out.
+func (m *Merged) encAt(id int) (keytree.Encryption, bool) {
+	if e, ok := m.topByID[id]; ok {
+		return e, true
+	}
+	sl := m.sliceFor(id)
+	if sl == nil || sl.Res == nil {
+		return keytree.Encryption{}, false
+	}
+	local, ok := localize(m.d, sl.Pos, m.topLevel, id)
+	if !ok {
+		return keytree.Encryption{}, false
+	}
+	e, ok := sl.Res.Encryption(local)
+	if !ok {
+		return keytree.Encryption{}, false
+	}
+	e.ID = uint32(id)
+	return e, true
+}
+
+// forNeeds walks user userID's global root path bottom-up and yields
+// the encryption at every node that has one -- exactly the entries the
+// member's UserView.Apply consumes.
+func (m *Merged) forNeeds(userID int, fn func(keytree.Encryption)) {
+	for id := userID; id >= 0; id = keytree.ParentID(m.d, id) {
+		if e, ok := m.encAt(id); ok {
+			fn(e)
+		}
+	}
+}
+
+// MaxKIDFor returns the globalized per-shard MaxKID governing user
+// userID's Theorem 4.2 rederivation. Part of the oracle Batch interface.
+func (m *Merged) MaxKIDFor(userID int) int {
+	if sl := m.sliceFor(userID); sl != nil {
+		return sl.MaxKID
+	}
+	return -1
+}
+
+// AppendUserNeeds appends the encryptions addressed to global user
+// userID, bottom-up. Part of the oracle Batch interface.
+func (m *Merged) AppendUserNeeds(dst []keytree.Encryption, userID int) []keytree.Encryption {
+	m.forNeeds(userID, func(e keytree.Encryption) {
+		dst = append(dst, e)
+	})
+	return dst
+}
+
+// ForEachEncryption sweeps every encryption of the interval: each
+// changed shard's entries (globalized), then the top-tree entries.
+// Part of the oracle Batch interface.
+func (m *Merged) ForEachEncryption(fn func(keytree.Encryption)) {
+	for _, sl := range m.Slices {
+		if sl.Res == nil {
+			continue
+		}
+		pos := sl.Pos
+		sl.Res.ForEachEncryption(func(e keytree.Encryption) {
+			e.ID = uint32(globalize(m.d, pos, int(e.ID)))
+			fn(e)
+		})
+	}
+	for _, e := range m.TopEncs {
+		fn(e)
+	}
+}
+
+// signedMagic versions the canonical signed encoding of a merged
+// message.
+const signedMagic = "SHMRG1\n\x00"
+
+// SignedBytes returns the canonical encoding the interval signature
+// covers: message ID, topology, every slice's MaxKID and user list,
+// and every encryption (ID + wrapped bytes -- public wire data; no raw
+// key material). Members verify the same bytes they can reassemble
+// from received packets.
+func (m *Merged) SignedBytes() []byte {
+	var buf []byte
+	u32 := func(v uint32) { buf = binary.BigEndian.AppendUint32(buf, v) }
+	u64 := func(v uint64) { buf = binary.BigEndian.AppendUint64(buf, v) }
+	enc := func(e keytree.Encryption) {
+		u32(e.ID)
+		buf = append(buf, e.Wrapped[:]...)
+	}
+	buf = append(buf, signedMagic...)
+	buf = append(buf, m.MsgID)
+	u32(uint32(m.d))
+	u32(uint32(m.topLevel))
+	u32(uint32(len(m.Slices)))
+	for _, sl := range m.Slices {
+		u64(uint64(int64(sl.MaxKID)))
+		u32(uint32(len(sl.userIDs)))
+		for _, u := range sl.userIDs {
+			u64(uint64(u))
+		}
+		if sl.Res == nil {
+			u32(0)
+			continue
+		}
+		u32(uint32(len(sl.Res.Encryptions)))
+		pos := sl.Pos
+		sl.Res.ForEachEncryption(func(e keytree.Encryption) {
+			e.ID = uint32(globalize(m.d, pos, int(e.ID)))
+			enc(e)
+		})
+	}
+	u32(uint32(len(m.TopEncs)))
+	for _, e := range m.TopEncs {
+		enc(e)
+	}
+	return buf
+}
+
+// VerifyMerged checks a merged message's interval signature.
+func VerifyMerged(pub *rsa.PublicKey, m *Merged) error {
+	return keys.Verify(pub, m.SignedBytes(), m.Sig)
+}
+
+// WireMessage is a merged interval rendered into wire-format ENC
+// packets. Each shard gets its own packet channel with block IDs
+// starting at zero: shard user-ID ranges interleave in the global ID
+// space, so one flat channel would break the UKA increasing-range
+// property the member-side block estimator relies on.
+type WireMessage struct {
+	MsgID uint8
+	// PerShard[s] holds shard s's ENC packets (including last-block
+	// duplicate padding), in block-major order.
+	PerShard [][]*packet.ENC
+
+	m     *Merged
+	plans []*assign.Plan
+}
+
+// Materialize packs the merged interval into per-shard wire packets
+// with FEC block size k. Wire fields are 16-bit, so this is only
+// usable when globalized IDs fit; large-scale harnesses measure on the
+// Merged form directly.
+func (m *Merged) Materialize(k int) (*WireMessage, error) {
+	w := &WireMessage{MsgID: m.MsgID, m: m}
+	for _, sl := range m.Slices {
+		plan, err := assign.Build(sl)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", sl.Index, err)
+		}
+		pkts, err := assign.Materialize(plan, sl, m.MsgID, k)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", sl.Index, err)
+		}
+		w.plans = append(w.plans, plan)
+		w.PerShard = append(w.PerShard, pkts)
+	}
+	return w, nil
+}
+
+// Plan returns shard s's assignment plan.
+func (w *WireMessage) Plan(s int) *assign.Plan { return w.plans[s] }
+
+// PacketFor returns the shard channel and ENC packet serving the given
+// post-batch global user node ID.
+func (w *WireMessage) PacketFor(nodeID int) (shard int, pkt *packet.ENC, ok bool) {
+	sl := w.m.sliceFor(nodeID)
+	if sl == nil {
+		return 0, nil, false
+	}
+	pi, ok := w.plans[sl.Index].UserPacket[nodeID]
+	if !ok {
+		return 0, nil, false
+	}
+	// The first NumReal slots of a channel are the real packets in plan
+	// order; padding duplicates only ever follow them.
+	return sl.Index, w.PerShard[sl.Index][pi], true
+}
+
+// USRFor builds the unicast USR packet for a post-batch global user
+// node ID.
+func (w *WireMessage) USRFor(nodeID int) (*packet.USR, error) {
+	sl := w.m.sliceFor(nodeID)
+	if sl == nil {
+		return nil, fmt.Errorf("shard: user node %d outside every shard", nodeID)
+	}
+	if nodeID > 0xffff || sl.MaxKID > 0xffff {
+		return nil, fmt.Errorf("shard: node ID %d / maxKID %d exceeds wire field", nodeID, sl.MaxKID)
+	}
+	return &packet.USR{
+		MsgID:  w.MsgID,
+		NewID:  uint16(nodeID),
+		MaxKID: uint16(sl.MaxKID),
+		Encs:   w.m.AppendUserNeeds(nil, nodeID),
+	}, nil
+}

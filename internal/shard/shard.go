@@ -1,0 +1,274 @@
+// Package shard makes the key tree horizontally scalable: a Shard is
+// an addressable unit owning one keytree.Tree plus its batch pipeline
+// over a slice of the member population, and a Coordinator routes
+// joins/leaves to shards, runs every shard's interval batch in
+// parallel, and stitches the shard root keys together under a thin
+// coordinator-level top tree so that the merged output is a single
+// consistent-cut rekey message indistinguishable from one giant
+// tree's. See topology.go for the ID-space construction and DESIGN.md
+// "Sharded architecture" for the contract.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/keytree"
+	"repro/internal/obs"
+)
+
+// Config configures one shard.
+type Config struct {
+	// Index is the shard's slot under the coordinator's top tree.
+	Index int
+	// Degree is the key tree degree d (uniform across the group).
+	Degree int
+	// Workers bounds the shard tree's parallel wrap pipeline; <= 0
+	// means GOMAXPROCS. Scale-out harnesses pin it to 1 so each shard
+	// models one single-core shard server.
+	Workers int
+	// Strategy is the batch placement strategy; nil means PaperMarking.
+	Strategy keytree.Strategy
+	// Gen supplies the shard's key draws; nil means a fresh CSPRNG.
+	// Shards must not share a generator: independent streams are what
+	// keep the per-shard pipelines free of cross-shard ordering.
+	Gen *keys.Generator
+	// Obs receives shard batch metrics; nil disables them.
+	Obs *obs.Registry
+}
+
+// Shard owns one key tree and its pending membership changes. It is
+// safe for concurrent use; the coordinator calls ProcessPending on
+// many shards in parallel.
+type Shard struct {
+	idx int
+	d   int
+	cfg Config
+	reg *obs.Registry
+
+	mu sync.Mutex
+	// The state below is guarded by mu.
+	tree     *keytree.Tree     // guarded by mu
+	joins    []keytree.Member  // guarded by mu
+	leaves   []keytree.Member  // guarded by mu
+	queued   map[keytree.Member]bool // guarded by mu
+	restores int               // guarded by mu
+}
+
+// New creates an empty shard.
+func New(cfg Config) (*Shard, error) {
+	if cfg.Degree < 2 {
+		return nil, fmt.Errorf("shard: degree %d < 2", cfg.Degree)
+	}
+	gen := cfg.Gen
+	if gen == nil {
+		gen = keys.NewGenerator()
+	}
+	return &Shard{
+		idx: cfg.Index,
+		d:   cfg.Degree,
+		cfg: cfg,
+		reg: cfg.Obs,
+		tree: keytree.New(cfg.Degree, gen,
+			keytree.WithWorkers(cfg.Workers),
+			keytree.WithObs(cfg.Obs),
+			keytree.WithStrategy(cfg.Strategy)),
+		queued: make(map[keytree.Member]bool),
+	}, nil
+}
+
+// Index returns the shard's slot under the coordinator top tree.
+func (s *Shard) Index() int { return s.idx }
+
+// Degree returns the shard tree's degree.
+func (s *Shard) Degree() int { return s.d }
+
+// QueueJoin records a join for the shard's next batch.
+func (s *Shard) QueueJoin(m keytree.Member) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tree.UserID(m); ok {
+		return fmt.Errorf("shard %d: member %d already present", s.idx, m)
+	}
+	if s.queued[m] {
+		return fmt.Errorf("shard %d: member %d already queued", s.idx, m)
+	}
+	s.queued[m] = true
+	s.joins = append(s.joins, m)
+	return nil
+}
+
+// QueueLeave records a leave for the shard's next batch.
+func (s *Shard) QueueLeave(m keytree.Member) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tree.UserID(m); !ok {
+		return fmt.Errorf("shard %d: member %d not present", s.idx, m)
+	}
+	if s.queued[m] {
+		return fmt.Errorf("shard %d: member %d already queued", s.idx, m)
+	}
+	s.queued[m] = true
+	s.leaves = append(s.leaves, m)
+	return nil
+}
+
+// Pending reports the queued joins and leaves.
+func (s *Shard) Pending() (joins, leaves int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.joins), len(s.leaves)
+}
+
+// ProcessPending applies the queued batch to the shard tree and
+// returns its result, or (nil, nil) when nothing is pending. The
+// batch wall time lands in the HShardBatch histogram: it is one
+// shard's share of a coordinator interval, the quantity the scale-out
+// harness measures.
+func (s *Shard) ProcessPending() (*keytree.BatchResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.joins) == 0 && len(s.leaves) == 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	res, err := s.tree.ProcessBatch(s.joins, s.leaves)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", s.idx, err)
+	}
+	s.joins, s.leaves = nil, nil
+	s.queued = make(map[keytree.Member]bool)
+	if s.reg.Enabled() {
+		s.reg.Inc(obs.CShardBatches)
+		s.reg.ObserveSince(obs.HShardBatch, start)
+	}
+	return res, nil
+}
+
+// Snapshot returns the shard tree's deterministic byte snapshot -- the
+// failover unit a standby restores from.
+func (s *Shard) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Snapshot()
+}
+
+// Restore replaces the shard's tree with one rebuilt from snapshot
+// bytes, modelling a crashed shard server restarting from its last
+// checkpoint. Pending requests are dropped (crash semantics: requests
+// not yet in a snapshot are the routing layer's to retry); gen
+// supplies the restarted shard's future key draws and must not be a
+// generator another shard uses.
+func (s *Shard) Restore(data []byte, gen *keys.Generator) error {
+	if gen == nil {
+		gen = keys.NewGenerator()
+	}
+	tree, err := keytree.Restore(data, gen,
+		keytree.WithWorkers(s.cfg.Workers),
+		keytree.WithObs(s.cfg.Obs),
+		keytree.WithStrategy(s.cfg.Strategy))
+	if err != nil {
+		return fmt.Errorf("shard %d: %w", s.idx, err)
+	}
+	if tree.Degree() != s.d {
+		return fmt.Errorf("shard %d: snapshot degree %d, shard degree %d", s.idx, tree.Degree(), s.d)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tree = tree
+	s.joins, s.leaves = nil, nil
+	s.queued = make(map[keytree.Member]bool)
+	s.restores++
+	if s.reg.Enabled() {
+		s.reg.Inc(obs.CShardRestores)
+	}
+	return nil
+}
+
+// Restores returns how many times this shard restored from a snapshot.
+func (s *Shard) Restores() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restores
+}
+
+// N returns the shard's current member count.
+func (s *Shard) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.N()
+}
+
+// RootKey returns the shard tree's root key -- the "individual key" of
+// the shard's leaf slot in the coordinator top tree.
+func (s *Shard) RootKey() keys.Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.GroupKey()
+}
+
+// MaxKID returns the shard tree's local maximum k-node ID.
+func (s *Shard) MaxKID() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.MaxKID()
+}
+
+// UserIDs returns the shard tree's sorted local u-node IDs.
+func (s *Shard) UserIDs() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.UserIDs()
+}
+
+// Members returns the shard's members sorted by local node ID.
+func (s *Shard) Members() []keytree.Member {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Members()
+}
+
+// UserID returns member m's local u-node ID.
+func (s *Shard) UserID(m keytree.Member) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.UserID(m)
+}
+
+// IndividualKey returns member m's individual key.
+func (s *Shard) IndividualKey(m keytree.Member) (keys.Key, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.IndividualKey(m)
+}
+
+// PathKeys returns member m's local path keys, keyed by local node ID.
+func (s *Shard) PathKeys(m keytree.Member) (map[int]keys.Key, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.PathKeys(m)
+}
+
+// NodeKey resolves the key at a local node ID.
+func (s *Shard) NodeKey(id int) (keys.Key, keytree.NodeKind, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.NodeKey(id)
+}
+
+// ForEachKNode sweeps the shard tree's live auxiliary keys in
+// ascending local ID order.
+func (s *Shard) ForEachKNode(fn func(id int, k keys.Key)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tree.ForEachKNode(fn)
+}
+
+// CheckInvariant validates the shard tree (tests).
+func (s *Shard) CheckInvariant() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.CheckInvariant()
+}

@@ -1,0 +1,88 @@
+// Composite-tree topology: how S independent shard trees hang under
+// one coordinator-level top tree in a single global node-ID space.
+//
+// The top tree is a perfect d-ary tree of height H = ceil(log_d S):
+// its internal nodes occupy global IDs [0, A(H)) and its leaf slots
+// occupy [A(H), A(H+1)), where A(l) = (d^l-1)/(d-1) is the first ID of
+// level l. Shard s's tree root is grafted at leaf slot P(s) = A(H)+s,
+// so a shard-local node x at local level l maps to global ID
+//
+//	global(x) = x + P(s) * d^l.
+//
+// This globalization commutes with the child relation
+// (global(d*x+j) = d*global(x)+j for j in 1..d), so parent walks,
+// leftmost-split arithmetic and the Theorem 4.2 rederivation all hold
+// on globalized IDs exactly as they do locally -- members never learn
+// they are talking to a shard. With S=1 the top tree is empty
+// (H=0, P(0)=0) and globalization is the identity: the coordinator's
+// output is byte-identical to a single tree's.
+package shard
+
+// Level returns the level of node id in a d-ary top-down numbering:
+// the l with A(l) <= id < A(l+1). The root is level 0.
+func Level(d, id int) int {
+	l := 0
+	next := 1 // A(l+1) - A(l) = d^l nodes at level l
+	start := 0
+	for id >= start+next {
+		start += next
+		next *= d
+		l++
+	}
+	return l
+}
+
+// LevelStart returns A(l) = (d^l-1)/(d-1), the first node ID at level l.
+func LevelStart(d, l int) int {
+	start := 0
+	pow := 1
+	for i := 0; i < l; i++ {
+		start += pow
+		pow *= d
+	}
+	return start
+}
+
+// pow returns d^l for small l.
+func pow(d, l int) int {
+	p := 1
+	for i := 0; i < l; i++ {
+		p *= d
+	}
+	return p
+}
+
+// topHeight returns the height H of the smallest perfect d-ary tree
+// with at least s leaves: the smallest H with d^H >= s.
+func topHeight(d, s int) int {
+	h := 0
+	for leaves := 1; leaves < s; leaves *= d {
+		h++
+	}
+	return h
+}
+
+// globalize maps a shard-local node ID to its global composite-tree ID
+// given the shard's leaf position pos: local + pos*d^Level(local).
+func globalize(d, pos, local int) int {
+	return local + pos*pow(d, Level(d, local))
+}
+
+// localize inverts globalize for the shard at leaf position pos (at
+// level posLevel): it returns the local ID and true iff global lies in
+// that shard's subtree.
+func localize(d, pos, posLevel, global int) (int, bool) {
+	l := Level(d, global) - posLevel
+	if l < 0 {
+		return 0, false
+	}
+	// The level-posLevel ancestor of global must be pos itself.
+	anc := global
+	for i := 0; i < l; i++ {
+		anc = (anc - 1) / d
+	}
+	if anc != pos {
+		return 0, false
+	}
+	return global - pos*pow(d, l), true
+}

@@ -1,0 +1,102 @@
+package shard
+
+import "testing"
+
+func TestLevelAndLevelStart(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 8} {
+		for l := 0; l < 6; l++ {
+			lo, hi := LevelStart(d, l), LevelStart(d, l+1)
+			if got := hi - lo; got != pow(d, l) {
+				t.Fatalf("d=%d level %d width %d, want %d", d, l, got, pow(d, l))
+			}
+			for _, id := range []int{lo, lo + (hi-lo)/2, hi - 1} {
+				if got := Level(d, id); got != l {
+					t.Fatalf("d=%d Level(%d) = %d, want %d", d, id, got, l)
+				}
+			}
+		}
+	}
+}
+
+func TestTopHeight(t *testing.T) {
+	cases := []struct{ d, s, h int }{
+		{4, 1, 0}, {4, 2, 1}, {4, 4, 1}, {4, 5, 2}, {4, 16, 2}, {4, 17, 3},
+		{2, 1, 0}, {2, 2, 1}, {2, 3, 2}, {2, 8, 3},
+	}
+	for _, c := range cases {
+		if got := topHeight(c.d, c.s); got != c.h {
+			t.Fatalf("topHeight(%d, %d) = %d, want %d", c.d, c.s, got, c.h)
+		}
+	}
+}
+
+// Globalization must commute with the child relation -- the property
+// that lets members run parent walks and Theorem 4.2 rederivation on
+// global IDs without knowing about shards.
+func TestGlobalizeCommutesWithChildren(t *testing.T) {
+	for _, d := range []int{2, 4} {
+		for _, pos := range []int{0, 1, 3, LevelStart(d, 2) + 1} {
+			for local := 0; local < 200; local++ {
+				g := globalize(d, pos, local)
+				for j := 1; j <= d; j++ {
+					want := d*g + j
+					if got := globalize(d, pos, d*local+j); got != want {
+						t.Fatalf("d=%d pos=%d: globalize(child %d) = %d, want child of %d = %d",
+							d, pos, d*local+j, got, g, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Globalization must also preserve ID order (the numbering is
+// level-ordered), which is what keeps per-shard MaxKID sound: every
+// comparison NewID makes on global IDs matches the local one.
+func TestGlobalizeOrderPreserving(t *testing.T) {
+	d, pos := 4, LevelStart(4, 1)+2
+	prev := -1
+	for local := 0; local < 500; local++ {
+		g := globalize(d, pos, local)
+		if g <= prev {
+			t.Fatalf("globalize(%d)=%d not greater than globalize(%d)=%d", local, g, local-1, prev)
+		}
+		prev = g
+	}
+}
+
+func TestLocalizeRoundTrip(t *testing.T) {
+	d := 4
+	posLevel := 2
+	pos := LevelStart(d, posLevel) + 3
+	other := pos + 1
+	for local := 0; local < 300; local++ {
+		g := globalize(d, pos, local)
+		back, ok := localize(d, pos, posLevel, g)
+		if !ok || back != local {
+			t.Fatalf("localize(globalize(%d)) = (%d, %v)", local, back, ok)
+		}
+		// The same global ID must not localize into a sibling subtree.
+		if _, ok := localize(d, other, posLevel, g); ok {
+			t.Fatalf("global %d localized into foreign subtree at pos %d", g, other)
+		}
+	}
+	// Nodes above the shard leaf level never localize.
+	if _, ok := localize(d, pos, posLevel, 0); ok {
+		t.Fatal("top-tree root localized into a shard")
+	}
+}
+
+// With a single shard the top tree vanishes and globalization is the
+// identity -- the S=1 coordinator is literally the unsharded server.
+func TestSingleShardIdentity(t *testing.T) {
+	d := 4
+	if h := topHeight(d, 1); h != 0 {
+		t.Fatalf("topHeight(d,1) = %d, want 0", h)
+	}
+	for local := 0; local < 100; local++ {
+		if g := globalize(d, 0, local); g != local {
+			t.Fatalf("S=1 globalize(%d) = %d, want identity", local, g)
+		}
+	}
+}

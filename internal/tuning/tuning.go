@@ -47,7 +47,22 @@ type Tuning struct {
 	// Validated by name resolution in rekey.NewServer -- this package
 	// sits below keytree and cannot consult the registry itself.
 	Strategy string
+	// Shards is the number of key tree shards a coordinator splits the
+	// group across (internal/shard). 0 means 1: a single tree, the
+	// unsharded server. >= 0.
+	Shards int
+	// ShardRange is the width W of the contiguous member-ID blocks the
+	// coordinator routes: member m belongs to shard (m/W) mod Shards,
+	// so W-wide blocks are dealt round-robin across shards. 0 means
+	// DefaultShardRange. >= 0.
+	ShardRange int
 }
+
+// DefaultShardRange is the member-ID block width used when the
+// ShardRange knob is zero: wide enough that a member population
+// allocated sequentially stays block-contiguous, narrow enough that a
+// few thousand members already spread across every shard.
+const DefaultShardRange = 1024
 
 // Default returns the paper's default tuning.
 func Default() Tuning {
@@ -127,5 +142,28 @@ func (t Tuning) Validate() error {
 	if t.Workers < 0 {
 		return fmt.Errorf("tuning: Workers = %d, want Workers >= 0", t.Workers)
 	}
+	if t.Shards < 0 {
+		return fmt.Errorf("tuning: Shards = %d, want Shards >= 0", t.Shards)
+	}
+	if t.ShardRange < 0 {
+		return fmt.Errorf("tuning: ShardRange = %d, want ShardRange >= 0", t.ShardRange)
+	}
 	return nil
+}
+
+// EffectiveShards resolves the Shards knob: 0 means one shard.
+func (t Tuning) EffectiveShards() int {
+	if t.Shards > 0 {
+		return t.Shards
+	}
+	return 1
+}
+
+// EffectiveShardRange resolves the ShardRange knob: 0 means
+// DefaultShardRange.
+func (t Tuning) EffectiveShardRange() int {
+	if t.ShardRange > 0 {
+		return t.ShardRange
+	}
+	return DefaultShardRange
 }

@@ -74,7 +74,7 @@ func TestImpairedEndToEnd(t *testing.T) {
 	reg := obs.New()
 	tun := rekey.DefaultTuning()
 	tun.InitialRho = 1.0 // no proactive parity: force NACK-driven recovery
-	ks, err := rekey.NewServer(rekey.Config{Tuning: tun, KeySeed: 11, Obs: reg})
+	ks, err := rekey.NewServer(rekey.WithTuning(tun), rekey.WithKeySeed(11), rekey.WithObs(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestImpairedEndToEnd(t *testing.T) {
 	// the same churn against the same key seed -- network impairments
 	// must not leak into key management.
 	reg2 := obs.New()
-	ks2, err := rekey.NewServer(rekey.Config{Tuning: tun, KeySeed: 11, Obs: reg2})
+	ks2, err := rekey.NewServer(rekey.WithTuning(tun), rekey.WithKeySeed(11), rekey.WithObs(reg2))
 	if err != nil {
 		t.Fatal(err)
 	}

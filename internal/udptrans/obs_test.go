@@ -49,7 +49,7 @@ func TestMetricsMatchStats(t *testing.T) {
 			return err == nil && typ == packet.TypeENC
 		}
 	}
-	ks, srv, clients := group(t, 36, rekey.Config{Tuning: tun, KeySeed: 11, Obs: reg}, drop)
+	ks, srv, clients := group(t, 36, drop, rekey.WithTuning(tun), rekey.WithKeySeed(11), rekey.WithObs(reg))
 
 	// Counters accumulate across runs; measure the churn rekey as a diff.
 	before := reg.Snapshot().Counters
@@ -141,7 +141,7 @@ func TestMetricsMatchStats(t *testing.T) {
 func TestDistributeContextCancel(t *testing.T) {
 	tun := rekey.DefaultTuning()
 	tun.InitialRho = 1.0
-	ks, err := rekey.NewServer(rekey.Config{Tuning: tun, KeySeed: 21})
+	ks, err := rekey.NewServer(rekey.WithTuning(tun), rekey.WithKeySeed(21))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestDistributeContextCancel(t *testing.T) {
 // TestClientRunContextCancel: cancelling the context stops a client's
 // receive loop with ctx.Err(); Close still returns nil.
 func TestClientRunContextCancel(t *testing.T) {
-	ks, err := rekey.NewServer(rekey.Config{KeySeed: 22})
+	ks, err := rekey.NewServer(rekey.WithKeySeed(22))
 	if err != nil {
 		t.Fatal(err)
 	}

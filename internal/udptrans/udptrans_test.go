@@ -12,9 +12,9 @@ import (
 
 // group spins up a key server, UDP transport server, and n clients on
 // loopback, bootstrapped through the first rekey message.
-func group(t *testing.T, n int, cfg rekey.Config, drop func(i int) func([]byte) bool) (*rekey.Server, *Server, map[rekey.MemberID]*Client) {
+func group(t *testing.T, n int, drop func(i int) func([]byte) bool, opts ...rekey.Option) (*rekey.Server, *Server, map[rekey.MemberID]*Client) {
 	t.Helper()
-	ks, err := rekey.NewServer(cfg)
+	ks, err := rekey.NewServer(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func waitKeyed(t *testing.T, ks *rekey.Server, clients map[rekey.MemberID]*Clien
 }
 
 func TestLoopbackLossless(t *testing.T) {
-	ks, srv, clients := group(t, 20, rekey.Config{KeySeed: 1}, nil)
+	ks, srv, clients := group(t, 20, nil, rekey.WithKeySeed(1))
 	// Churn: 3 leave, 2 join.
 	for _, id := range []rekey.MemberID{2, 5, 11} {
 		if err := ks.QueueLeave(id); err != nil {
@@ -157,7 +157,7 @@ func TestLoopbackWithLoss(t *testing.T) {
 	// NACK-driven reactive path.
 	tun := rekey.DefaultTuning()
 	tun.InitialRho = 1.0
-	ks, srv, clients := group(t, 24, rekey.Config{Tuning: tun, KeySeed: 2}, drop)
+	ks, srv, clients := group(t, 24, drop, rekey.WithTuning(tun), rekey.WithKeySeed(2))
 
 	for i := 0; i < 6; i++ {
 		id := rekey.MemberID(i*4 + 1)
@@ -183,7 +183,7 @@ func TestLoopbackWithLoss(t *testing.T) {
 }
 
 func TestDistributeEmptyMessage(t *testing.T) {
-	ks, err := rekey.NewServer(rekey.Config{KeySeed: 3})
+	ks, err := rekey.NewServer(rekey.WithKeySeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,15 +18,22 @@
 // internal/udptrans for the wire; this package is the key-management
 // core both share.
 //
-// Configuration is a single validated options core: Config embeds
-// Tuning (the shared protocol knobs -- k, d, rho0, numNACK, round
-// budget, workers -- defined once in internal/tuning and reused by
-// every layer), plus the key seed and an optional obs.Registry.
-// Passing a registry in Config.Obs threads live metrics and trace
-// events through the server, the message builder and the transports; a
-// nil registry costs only a nil check. Member.Ingest reports typed
+// Servers are built with functional options mirroring keytree.New:
+// NewServer(WithTuning(t), WithKeySeed(seed), WithObs(reg)). The
+// options populate a validated Config core embedding Tuning (the
+// shared protocol knobs -- k, d, rho0, numNACK, round budget, workers
+// -- defined once in internal/tuning and reused by every layer).
+// Passing a registry via WithObs threads live metrics and trace events
+// through the server, the message builder and the transports; a nil
+// registry costs only a nil check. Member.Ingest reports typed
 // outcomes: an IngestResult plus errors wrapping the ErrBadPacket,
 // ErrWrongMessage and ErrStale sentinels for errors.Is dispatch.
+//
+// Internally the server's key tree state lives in one internal/shard
+// Shard -- the same addressable unit a multi-shard Coordinator manages
+// -- while this package keeps distribution: assignment, block
+// partitioning, FEC parity and message signing. A single-shard server
+// and a shard under a coordinator run the identical tree pipeline.
 package rekey
 
 import (
@@ -44,6 +51,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/protocol"
+	"repro/internal/shard"
 	"repro/internal/tuning"
 )
 
@@ -70,7 +78,9 @@ type Tuning = tuning.Tuning
 // d=4, rho0=1, numNACK=20 (cap 100), unicast after 2 multicast rounds.
 func DefaultTuning() Tuning { return tuning.Default() }
 
-// Config configures a Server.
+// Config is the server's validated options core; NewServer's
+// functional options populate it. Construct servers with NewServer;
+// the Config-accepting NewServerConfig shim exists only for migration.
 type Config struct {
 	// Tuning holds the shared protocol knobs. Zero-valued fields take
 	// the paper defaults (DefaultTuning); the server itself consumes K
@@ -91,23 +101,57 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Option configures a Server (see NewServer).
+type Option func(*Config)
+
+// WithTuning sets the shared protocol knobs; zero-valued fields take
+// the paper defaults.
+func WithTuning(t Tuning) Option { return func(c *Config) { c.Tuning = t } }
+
+// WithKeySeed makes key generation deterministic -- tests and
+// experiments only.
+func WithKeySeed(seed uint64) Option { return func(c *Config) { c.KeySeed = seed } }
+
+// WithObs attaches an observability registry to the server, the
+// message builder and the key tree pipeline.
+func WithObs(reg *obs.Registry) Option { return func(c *Config) { c.Obs = reg } }
+
 // Server is the group key server: registration, key management and
 // rekey message construction. It is safe for concurrent use.
+//
+// The key tree and its pending membership queues live in a single
+// internal/shard Shard; the server owns the distribution side --
+// message IDs, assignment, FEC partitioning.
 type Server struct {
-	mu  sync.Mutex
-	cfg Config
-	obs *obs.Registry
-	// The group state below is guarded by mu.
-	tree    *keytree.Tree     // guarded by mu
-	joins   []MemberID        // guarded by mu
-	leaves  []MemberID        // guarded by mu
-	queued  map[MemberID]bool // guarded by mu
-	msgSeq  uint8             // guarded by mu
-	lastMsg *RekeyMessage     // guarded by mu
+	cfg   Config
+	obs   *obs.Registry
+	shard *shard.Shard
+
+	mu sync.Mutex
+	// The message state below is guarded by mu.
+	msgSeq  uint8         // guarded by mu
+	lastMsg *RekeyMessage // guarded by mu
 }
 
-// NewServer creates a server with an empty group.
-func NewServer(cfg Config) (*Server, error) {
+// NewServer creates a server with an empty group. With no options it
+// uses the paper's default tuning, a CSPRNG key generator and no
+// observability.
+func NewServer(opts ...Option) (*Server, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return buildServer(cfg)
+}
+
+// NewServerConfig creates a server from an explicit Config.
+//
+// Deprecated: use NewServer with WithTuning / WithKeySeed / WithObs.
+// This shim exists for callers migrating from the old
+// NewServer(Config) signature and will be removed.
+func NewServerConfig(cfg Config) (*Server, error) { return buildServer(cfg) }
+
+func buildServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Tuning.Validate(); err != nil {
 		return nil, fmt.Errorf("rekey: %w", err)
@@ -116,19 +160,21 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rekey: %w", err)
 	}
-	gen := keys.NewGenerator()
+	var gen *keys.Generator
 	if cfg.KeySeed != 0 {
 		gen = keys.NewDeterministicGenerator(cfg.KeySeed)
 	}
-	return &Server{
-		cfg: cfg,
-		obs: cfg.Obs,
-		tree: keytree.New(cfg.Degree, gen,
-			keytree.WithWorkers(cfg.Workers),
-			keytree.WithObs(cfg.Obs),
-			keytree.WithStrategy(strat)),
-		queued: make(map[MemberID]bool),
-	}, nil
+	sh, err := shard.New(shard.Config{
+		Degree:   cfg.Degree,
+		Workers:  cfg.Workers,
+		Strategy: strat,
+		Gen:      gen,
+		Obs:      cfg.Obs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rekey: %w", err)
+	}
+	return &Server{cfg: cfg, obs: cfg.Obs, shard: sh}, nil
 }
 
 // Tuning returns the server's effective (defaulted, validated) tuning.
@@ -143,66 +189,42 @@ func (s *Server) Obs() *obs.Registry { return s.obs }
 // QueueJoin records a join request for the next rekey interval. The
 // member's credentials become available after the next Rekey call.
 func (s *Server) QueueJoin(m MemberID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tree.UserID(m); ok {
-		return fmt.Errorf("rekey: member %d already in the group", m)
+	if err := s.shard.QueueJoin(m); err != nil {
+		return fmt.Errorf("rekey: %w", err)
 	}
-	if s.queued[m] {
-		return fmt.Errorf("rekey: member %d already queued", m)
-	}
-	s.queued[m] = true
-	s.joins = append(s.joins, m)
-	s.obs.Set(obs.GPendingJoins, float64(len(s.joins)))
+	j, _ := s.shard.Pending()
+	s.obs.Set(obs.GPendingJoins, float64(j))
 	return nil
 }
 
 // QueueLeave records a leave request for the next rekey interval.
 func (s *Server) QueueLeave(m MemberID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tree.UserID(m); !ok {
-		return fmt.Errorf("rekey: member %d not in the group", m)
+	if err := s.shard.QueueLeave(m); err != nil {
+		return fmt.Errorf("rekey: %w", err)
 	}
-	if s.queued[m] {
-		return fmt.Errorf("rekey: member %d already queued", m)
-	}
-	s.queued[m] = true
-	s.leaves = append(s.leaves, m)
-	s.obs.Set(obs.GPendingLeaves, float64(len(s.leaves)))
+	_, l := s.shard.Pending()
+	s.obs.Set(obs.GPendingLeaves, float64(l))
 	return nil
 }
 
 // Pending reports the queued joins and leaves.
 func (s *Server) Pending() (joins, leaves int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.joins), len(s.leaves)
+	return s.shard.Pending()
 }
 
 // N returns the current group size.
-func (s *Server) N() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tree.N()
-}
+func (s *Server) N() int { return s.shard.N() }
 
 // GroupKey returns the current group key.
-func (s *Server) GroupKey() keys.Key {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tree.GroupKey()
-}
+func (s *Server) GroupKey() keys.Key { return s.shard.RootKey() }
 
 // Credentials returns a current member's registration material.
 func (s *Server) Credentials(m MemberID) (Credentials, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id, ok := s.tree.UserID(m)
+	id, ok := s.shard.UserID(m)
 	if !ok {
 		return Credentials{}, false
 	}
-	key, _ := s.tree.IndividualKey(m)
+	key, _ := s.shard.IndividualKey(m)
 	return Credentials{
 		Member: m, NodeID: id, Key: key,
 		Degree: s.cfg.Degree, BlockSize: s.cfg.K,
@@ -214,10 +236,13 @@ func (s *Server) Credentials(m MemberID) (Credentials, bool) {
 // the root, keyed by node ID. Consistency oracles and end-to-end tests
 // compare recovered member state against it.
 func (s *Server) PathKeys(m MemberID) (map[int]keys.Key, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tree.PathKeys(m)
+	return s.shard.PathKeys(m)
 }
+
+// Snapshot returns the server's key tree as deterministic snapshot
+// bytes -- the failover checkpoint a standby server restores from
+// (keytree.Restore / shard.Shard.Restore).
+func (s *Server) Snapshot() []byte { return s.shard.Snapshot() }
 
 // ErrNoChange is returned by Rekey when no membership changes are
 // pending: no rekey message is needed.
@@ -229,20 +254,22 @@ var ErrNoChange = errors.New("rekey: no pending membership changes")
 func (s *Server) Rekey() (*RekeyMessage, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.joins) == 0 && len(s.leaves) == 0 {
+	joins, leaves := s.shard.Pending()
+	if joins+leaves == 0 {
 		return nil, ErrNoChange
 	}
 	var buildStart time.Time
 	if s.obs.Enabled() {
 		buildStart = time.Now()
 	}
-	joins, leaves := len(s.joins), len(s.leaves)
-	res, err := s.tree.ProcessBatch(s.joins, s.leaves)
+	res, err := s.shard.ProcessPending()
 	if err != nil {
 		return nil, err
 	}
-	s.joins, s.leaves = nil, nil
-	s.queued = make(map[MemberID]bool)
+	if res == nil {
+		// A concurrent Rekey drained the queues first.
+		return nil, ErrNoChange
+	}
 
 	plan, err := assign.Build(res)
 	if err != nil {
@@ -275,7 +302,7 @@ func (s *Server) Rekey() (*RekeyMessage, error) {
 		s.obs.Add(obs.CLeaves, int64(leaves))
 		s.obs.Observe(obs.HBatchSize, float64(joins+leaves))
 		s.obs.ObserveSince(obs.HRekeyBuild, buildStart)
-		s.obs.Set(obs.GGroupSize, float64(s.tree.N()))
+		s.obs.Set(obs.GGroupSize, float64(s.shard.N()))
 		s.obs.Set(obs.GPendingJoins, 0)
 		s.obs.Set(obs.GPendingLeaves, 0)
 		s.obs.Emit(obs.Event{Kind: obs.EvRekeyBuilt, MsgID: msgID, Value: float64(part.NumReal)})

@@ -20,7 +20,7 @@ func twoMessages(t *testing.T, n int) (*rekey.RekeyMessage, *rekey.RekeyMessage)
 	t.Helper()
 	var rms [2]*rekey.RekeyMessage
 	for i := range rms {
-		srv, err := rekey.NewServer(rekey.Config{KeySeed: 42})
+		srv, err := rekey.NewServer(rekey.WithKeySeed(42))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -10,7 +10,7 @@ import (
 
 func newServer(t testing.TB, seed uint64) *Server {
 	t.Helper()
-	s, err := NewServer(Config{KeySeed: seed})
+	s, err := NewServer(WithKeySeed(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,22 +69,22 @@ func deliverSpecific(t testing.TB, rm *RekeyMessage, m *Member, nodeID int) {
 func TestServerValidation(t *testing.T) {
 	badDeg := DefaultTuning()
 	badDeg.Degree = 1
-	if _, err := NewServer(Config{Tuning: badDeg}); err == nil {
+	if _, err := NewServer(WithTuning(badDeg)); err == nil {
 		t.Error("degree 1 accepted")
 	}
 	badK := DefaultTuning()
 	badK.K = 1000
-	if _, err := NewServer(Config{Tuning: badK}); err == nil {
+	if _, err := NewServer(WithTuning(badK)); err == nil {
 		t.Error("block size 1000 accepted")
 	}
 	badStrat := DefaultTuning()
 	badStrat.Strategy = "no-such-strategy"
-	if _, err := NewServer(Config{Tuning: badStrat}); err == nil {
+	if _, err := NewServer(WithTuning(badStrat)); err == nil {
 		t.Error("unknown placement strategy accepted")
 	}
 	altStrat := DefaultTuning()
 	altStrat.Strategy = "batchplace"
-	if _, err := NewServer(Config{Tuning: altStrat}); err != nil {
+	if _, err := NewServer(WithTuning(altStrat)); err != nil {
 		t.Errorf("batchplace strategy rejected: %v", err)
 	}
 	s := newServer(t, 1)
