@@ -1,0 +1,259 @@
+package rekey
+
+// Amortized interval signing (DESIGN.md "Amortized interval
+// authentication"): instead of signing every packet, Rekey builds one
+// two-tier Merkle tree over everything the interval can send and signs
+// only its root.
+//
+//	top tree leaves:  [blockRoot_0 .. blockRoot_{B-1}, usrRoot]
+//	blockRoot_b:      root over the k ENC leaf hashes of block b
+//	                  (leaf s = H(0x00 || ENC-domain || packet bytes))
+//	usrRoot:          root over one USR leaf per current user, in
+//	                  sorted node-ID order (leaf = H(0x00 || USR-domain
+//	                  || USR packet bytes))
+//
+// Every outgoing packet carries a packet.AuthTrailer: ENC packets
+// prove leaf -> blockRoot -> root; PARITY packets (whose payload is
+// code, not a tree leaf) carry blockRoot explicitly plus its top
+// proof, and the decoded block is checked against that root after FEC
+// recovery; USR packets prove leaf -> usrRoot -> root. The root
+// signature rides in every trailer so any first packet authenticates
+// the interval; members cache verified roots (keys.RootVerifier) and
+// pay the RSA check once per interval.
+
+import (
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/obs"
+	"repro/internal/packet"
+)
+
+// ErrNoAuthLeaf is returned by WireUSR when the requested node ID has
+// no leaf in the interval's USR subtree (it was not a user when the
+// message was signed), so no authenticated unicast can be built.
+var ErrNoAuthLeaf = errors.New("rekey: user has no leaf in the interval auth tree")
+
+// WithSigner attaches an interval signer: each rekey message's Merkle
+// root is signed once and every packet carries an inclusion proof plus
+// that signature. Members verify with a keys.RootVerifier over
+// SignerPublic.
+func WithSigner(s *keys.Signer) Option { return func(c *Config) { c.Signer = s } }
+
+// SignerPublic returns the public key members verify interval roots
+// against, or nil when the server does not sign.
+func (s *Server) SignerPublic() *rsa.PublicKey {
+	if s.cfg.Signer == nil {
+		return nil
+	}
+	return s.cfg.Signer.Public()
+}
+
+// intervalAuth is one rekey message's authentication state, built once
+// under Server.mu and read-only afterwards.
+type intervalAuth struct {
+	blockTrees []*keys.MerkleTree
+	usrTree    *keys.MerkleTree
+	top        *keys.MerkleTree
+	usrIndex   map[int]int // user node ID -> usrTree leaf index
+	sig        []byte      // RSA signature over top.Root()
+	nTop       int
+	encWire    [][]byte // full ENC datagrams: packet bytes + trailer
+	parityTr   [][]byte // per-block PARITY trailer bytes
+}
+
+// Authenticated reports whether the message carries interval
+// authentication (the server was built WithSigner).
+func (rm *RekeyMessage) Authenticated() bool { return rm.auth != nil }
+
+// buildAuth constructs the interval Merkle tree, signs its root and
+// pre-builds the per-ENC and per-block trailers. Called once from
+// Rekey; rm is not yet shared.
+func (rm *RekeyMessage) buildAuth(signer *keys.Signer) error {
+	var start time.Time
+	if rm.obs.Enabled() {
+		start = time.Now()
+	}
+	nBlocks := rm.Blocks()
+	a := &intervalAuth{
+		blockTrees: make([]*keys.MerkleTree, nBlocks),
+		usrIndex:   make(map[int]int, len(rm.Result.UserIDs)),
+		nTop:       nBlocks + 1,
+		encWire:    make([][]byte, len(rm.ENC)),
+		parityTr:   make([][]byte, nBlocks),
+	}
+
+	// Block subtrees over the ENC packet bytes (kept: they become the
+	// send datagrams and the FEC payloads).
+	raws := make([][]byte, len(rm.ENC))
+	leaves := make([]keys.MerkleHash, len(rm.ENC))
+	for i, enc := range rm.ENC {
+		raw, err := enc.Marshal()
+		if err != nil {
+			return err
+		}
+		raws[i] = raw
+		leaves[i] = keys.LeafHash(keys.DomainENC, raw)
+	}
+	topLeaves := make([]keys.MerkleHash, 0, a.nTop)
+	for b := 0; b < nBlocks; b++ {
+		a.blockTrees[b] = keys.NewMerkleTree(leaves[b*rm.k : (b+1)*rm.k])
+		topLeaves = append(topLeaves, a.blockTrees[b].Root())
+	}
+
+	// USR subtree: one leaf per current user, sorted node-ID order.
+	usrLeaves := make([]keys.MerkleHash, len(rm.Result.UserIDs))
+	for i, uid := range rm.Result.UserIDs {
+		usr, err := rm.USRFor(uid)
+		if err != nil {
+			return err
+		}
+		raw, err := usr.Marshal()
+		if err != nil {
+			return err
+		}
+		usrLeaves[i] = keys.LeafHash(keys.DomainUSR, raw)
+		a.usrIndex[uid] = i
+	}
+	a.usrTree = keys.NewMerkleTree(usrLeaves)
+	topLeaves = append(topLeaves, a.usrTree.Root())
+
+	a.top = keys.NewMerkleTree(topLeaves)
+	root := a.top.Root()
+	sig, err := signer.SignRoot(root)
+	if err != nil {
+		return err
+	}
+	a.sig = sig
+
+	// Pre-built trailers: one per ENC packet, one per block for PARITY
+	// (every parity packet of a block shares the same trailer).
+	for i := range rm.ENC {
+		b, s := i/rm.k, i%rm.k
+		tr := packet.AuthTrailer{
+			Kind:      packet.TypeENC,
+			NTop:      a.nTop,
+			LeafIndex: s,
+			NSub:      rm.k,
+			SubProof:  a.blockTrees[b].AppendProof(nil, s),
+			TopProof:  a.top.AppendProof(nil, b),
+			Sig:       a.sig,
+		}
+		wire, err := tr.AppendAuthTrailer(raws[i])
+		if err != nil {
+			return err
+		}
+		a.encWire[i] = wire
+		rm.obs.Observe(obs.HMerkleProofBytes, float64(len(wire)-packet.PacketLen))
+	}
+	for b := 0; b < nBlocks; b++ {
+		tr := packet.AuthTrailer{
+			Kind:     packet.TypePARITY,
+			NTop:     a.nTop,
+			TopProof: a.top.AppendProof(nil, b),
+			HasAux:   true,
+			Aux:      a.blockTrees[b].Root(),
+			Sig:      a.sig,
+		}
+		tb, err := tr.AppendAuthTrailer(nil)
+		if err != nil {
+			return err
+		}
+		a.parityTr[b] = tb
+		rm.obs.Observe(obs.HMerkleProofBytes, float64(len(tb)))
+	}
+	rm.auth = a
+	if rm.obs.Enabled() {
+		rm.obs.ObserveSince(obs.HSignRoot, start)
+	}
+	return nil
+}
+
+// WireENC returns ENC datagram i's send bytes: the packet plus, on an
+// authenticated message, its auth trailer. The returned slice is
+// shared and must not be modified; after the first call for a given i
+// the bytes are cached, so repeated sends of one interval's packets
+// allocate nothing.
+func (rm *RekeyMessage) WireENC(i int) ([]byte, error) {
+	if rm.auth != nil {
+		return rm.auth.encWire[i], nil
+	}
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if rm.wire == nil {
+		rm.wire = make([][]byte, len(rm.ENC))
+	}
+	if rm.wire[i] == nil {
+		raw, err := rm.ENC[i].Marshal()
+		if err != nil {
+			return nil, err
+		}
+		rm.wire[i] = raw
+	}
+	return rm.wire[i], nil
+}
+
+// AppendWireParity appends the send bytes of PARITY packet idx of the
+// given block -- packet plus trailer on an authenticated message -- to
+// dst and returns the extended slice. With the parity payload cached
+// (PrecomputeParity) and enough capacity in dst it does not allocate:
+// the datagram is built straight from the cached payload and the
+// pre-built per-block trailer, with no intermediate packet struct.
+func (rm *RekeyMessage) AppendWireParity(dst []byte, block, idx int) ([]byte, error) {
+	payload, err := rm.parityPayload(block, idx)
+	if err != nil {
+		return nil, err
+	}
+	if block > 0xff || rm.k+idx > 0xff {
+		return nil, fmt.Errorf("rekey: parity shard (%d,%d) exceeds wire fields", block, rm.k+idx)
+	}
+	dst, err = packet.AppendParity(dst, rm.MsgID, uint8(block), uint8(rm.k+idx), payload)
+	if err != nil {
+		return nil, err
+	}
+	if rm.auth != nil {
+		dst = append(dst, rm.auth.parityTr[block]...)
+	}
+	return dst, nil
+}
+
+// WireUSR returns the unicast datagram for the given user node ID:
+// the USR packet plus, on an authenticated message, its auth trailer
+// (leaf -> usrRoot -> interval root, built on demand -- unicast is the
+// cold path).
+func (rm *RekeyMessage) WireUSR(nodeID int) ([]byte, error) {
+	usr, err := rm.USRFor(nodeID)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := usr.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	a := rm.auth
+	if a == nil {
+		return raw, nil
+	}
+	idx, ok := a.usrIndex[nodeID]
+	if !ok {
+		return nil, ErrNoAuthLeaf
+	}
+	tr := packet.AuthTrailer{
+		Kind:      packet.TypeUSR,
+		NTop:      a.nTop,
+		LeafIndex: idx,
+		NSub:      a.usrTree.NumLeaves(),
+		SubProof:  a.usrTree.AppendProof(nil, idx),
+		TopProof:  a.top.AppendProof(nil, a.nTop-1),
+		Sig:       a.sig,
+	}
+	wire, err := tr.AppendAuthTrailer(raw)
+	if err != nil {
+		return nil, err
+	}
+	rm.obs.Observe(obs.HMerkleProofBytes, float64(len(wire)-len(raw)))
+	return wire, nil
+}

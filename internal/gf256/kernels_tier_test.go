@@ -1,0 +1,185 @@
+package gf256
+
+// Per-tier differential coverage: the same byte-identity suites the
+// default dispatch runs under, repeated with every kernel tier the
+// machine supports forced through SetKernel. On AVX2/GFNI hardware
+// this is what pins the wider kernels to the scalar references; on a
+// bare machine it degenerates to the generic tier and still passes.
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+// forEachKernel runs fn once per available kernel tier with dispatch
+// forced to that tier, restoring the default afterwards.
+func forEachKernel(t *testing.T, fn func(t *testing.T)) {
+	t.Helper()
+	def := KernelName()
+	defer func() {
+		if err := SetKernel(def); err != nil {
+			t.Fatalf("restoring kernel %q: %v", def, err)
+		}
+	}()
+	for _, name := range AvailableKernels() {
+		if err := SetKernel(name); err != nil {
+			t.Fatalf("SetKernel(%q): %v", name, err)
+		}
+		t.Run(name, fn)
+	}
+}
+
+func TestAllKernelTiersMatchRefAllCoefficients(t *testing.T) {
+	forEachKernel(t, func(t *testing.T) {
+		rng := rand.New(rand.NewPCG(11, 11))
+		for _, n := range kernelLens {
+			src := randBytes(rng, n)
+			init := randBytes(rng, n)
+			got := make([]byte, n)
+			want := make([]byte, n)
+			for c := 0; c < Order; c++ {
+				MulSlice(got, src, byte(c))
+				RefMulSlice(want, src, byte(c))
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s MulSlice(len=%d, c=%d) diverges from reference", KernelName(), n, c)
+				}
+				copy(got, init)
+				copy(want, init)
+				MulAddSlice(got, src, byte(c))
+				RefMulAddSlice(want, src, byte(c))
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s MulAddSlice(len=%d, c=%d) diverges from reference", KernelName(), n, c)
+				}
+			}
+		}
+	})
+}
+
+func TestAllKernelTiersUnalignedTails(t *testing.T) {
+	forEachKernel(t, func(t *testing.T) {
+		rng := rand.New(rand.NewPCG(12, 12))
+		buf := randBytes(rng, 4096)
+		acc := randBytes(rng, 4096)
+		for trial := 0; trial < 300; trial++ {
+			off := rng.IntN(64)
+			n := rng.IntN(len(buf) - off)
+			c := byte(rng.Uint32())
+			src := buf[off : off+n]
+
+			got := make([]byte, n)
+			want := make([]byte, n)
+			MulSlice(got, src, c)
+			RefMulSlice(want, src, c)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s MulSlice off=%d len=%d c=%d diverges", KernelName(), off, n, c)
+			}
+
+			copy(got, acc[off:off+n])
+			copy(want, acc[off:off+n])
+			MulAddSlice(got, src, c)
+			RefMulAddSlice(want, src, c)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s MulAddSlice off=%d len=%d c=%d diverges", KernelName(), off, n, c)
+			}
+		}
+	})
+}
+
+func TestSetKernelValidation(t *testing.T) {
+	def := KernelName()
+	defer func() {
+		if err := SetKernel(def); err != nil {
+			t.Fatalf("restoring kernel %q: %v", def, err)
+		}
+	}()
+	if err := SetKernel("bogus"); err == nil {
+		t.Fatal("SetKernel(bogus) did not fail")
+	}
+	avail := AvailableKernels()
+	if len(avail) == 0 || avail[0] != "generic" {
+		t.Fatalf("AvailableKernels() = %v, want generic first", avail)
+	}
+	if avail[len(avail)-1] != def {
+		t.Fatalf("default kernel %q is not the last available tier %v", def, avail)
+	}
+	for _, name := range avail {
+		if err := SetKernel(name); err != nil {
+			t.Fatalf("SetKernel(%q): %v", name, err)
+		}
+		if got := KernelName(); got != name {
+			t.Fatalf("KernelName() = %q after SetKernel(%q)", got, name)
+		}
+	}
+}
+
+// FuzzKernelTiersMatchRef drives every available tier over the same
+// fuzz-chosen span and accumulator, demanding byte-identity with the
+// scalar references throughout.
+func FuzzKernelTiersMatchRef(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, byte(0x57), uint8(3))
+	f.Add(bytes.Repeat([]byte{0xaa}, 100), byte(0xff), uint8(17))
+	f.Add([]byte{}, byte(0), uint8(0))
+	def := KernelName()
+	f.Cleanup(func() {
+		if err := SetKernel(def); err != nil {
+			f.Fatalf("restoring kernel %q: %v", def, err)
+		}
+	})
+	f.Fuzz(func(t *testing.T, src []byte, c byte, off uint8) {
+		o := int(off)
+		if o > len(src) {
+			o = len(src)
+		}
+		span := src[o:]
+		want := make([]byte, len(span))
+		wantAdd := make([]byte, len(span))
+		RefMulSlice(want, span, c)
+		copy(wantAdd, src[:len(span)])
+		RefMulAddSlice(wantAdd, span, c)
+		got := make([]byte, len(span))
+		for _, name := range AvailableKernels() {
+			if err := SetKernel(name); err != nil {
+				t.Fatalf("SetKernel(%q): %v", name, err)
+			}
+			MulSlice(got, span, c)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s MulSlice diverges (len=%d c=%d)", name, len(span), c)
+			}
+			copy(got, src[:len(span)])
+			MulAddSlice(got, span, c)
+			if !bytes.Equal(got, wantAdd) {
+				t.Fatalf("%s MulAddSlice diverges (len=%d c=%d)", name, len(span), c)
+			}
+		}
+	})
+}
+
+// BenchmarkMulAddSliceKernel reports per-tier throughput; fecbench
+// reads the same shape into BENCH_fec.json rows.
+func BenchmarkMulAddSliceKernel(b *testing.B) {
+	def := KernelName()
+	defer func() {
+		if err := SetKernel(def); err != nil {
+			b.Fatalf("restoring kernel %q: %v", def, err)
+		}
+	}()
+	for _, name := range AvailableKernels() {
+		if err := SetKernel(name); err != nil {
+			b.Fatalf("SetKernel(%q): %v", name, err)
+		}
+		for _, n := range []int{1027, 8192} {
+			b.Run(name+"/"+sizeName(n), func(b *testing.B) {
+				src, dst := make([]byte, n), make([]byte, n)
+				for i := range src {
+					src[i] = byte(i)
+				}
+				b.SetBytes(int64(n))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					MulAddSlice(dst, src, 0x57)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package keys
+
+// Amortized interval authentication: instead of one RSA signature per
+// packet (or per message part), the server builds a Merkle tree over
+// the hashes of everything an interval sends, signs only the root, and
+// lets every packet carry an O(log n) inclusion proof. A member checks
+// the proof (a handful of SHA-256 compressions), recomputes the root,
+// and pays the RSA verification once per interval -- the RootVerifier
+// below caches roots whose signature already checked out.
+//
+// Hashing is domain-separated: leaves hash as H(0x00 || domain ||
+// data) and interior nodes as H(0x01 || left || right), so a leaf can
+// never be confused with a node and leaves of different packet kinds
+// can never be confused with each other. Odd nodes at any level are
+// promoted unchanged (no duplication), which keeps proofs minimal and
+// makes the leaf count part of what a verifier must know -- proofs are
+// checked against an explicit (index, numLeaves) position.
+
+import (
+	"crypto/rsa"
+	"crypto/sha256"
+	"sync"
+)
+
+// HashSize is the size of the Merkle tree's hashes (SHA-256).
+const HashSize = sha256.Size
+
+// MerkleHash is one node or leaf hash of an interval's Merkle tree.
+type MerkleHash = [HashSize]byte
+
+// Leaf-domain bytes: each packet kind hashes under its own domain so
+// (for example) an ENC body can never stand in for a USR body.
+const (
+	DomainENC   = 0x01
+	DomainUSR   = 0x02
+	DomainBlock = 0x03 // block-subtree roots feeding the top tree
+	DomainSlice = 0x04 // sharded path: one slice's canonical bytes
+	DomainTop   = 0x05 // sharded path: the coordinator's top encryptions
+)
+
+// LeafHash hashes one leaf: H(0x00 || domain || data).
+func LeafHash(domain byte, data []byte) MerkleHash {
+	h := sha256.New()
+	var pre [2]byte
+	pre[0] = 0x00
+	pre[1] = domain
+	h.Write(pre[:])
+	h.Write(data)
+	var out MerkleHash
+	h.Sum(out[:0])
+	return out
+}
+
+// nodeHash hashes one interior node: H(0x01 || left || right).
+func nodeHash(left, right *MerkleHash) MerkleHash {
+	h := sha256.New()
+	var pre [1]byte
+	pre[0] = 0x01
+	h.Write(pre[:])
+	h.Write(left[:])
+	h.Write(right[:])
+	var out MerkleHash
+	h.Sum(out[:0])
+	return out
+}
+
+// MerkleTree is a binary hash tree over a fixed ordered leaf set. A
+// lone node at the end of an odd-width level is promoted unchanged.
+// The zero-leaf tree is not representable; callers always have at
+// least one packet per interval.
+type MerkleTree struct {
+	// levels[0] is the leaf level; levels[len-1] has exactly one node,
+	// the root.
+	levels [][]MerkleHash
+}
+
+// NewMerkleTree builds the tree over the given leaf hashes. It panics
+// on an empty leaf set. The leaves slice is copied.
+func NewMerkleTree(leaves []MerkleHash) *MerkleTree {
+	if len(leaves) == 0 {
+		panic("keys: Merkle tree over zero leaves")
+	}
+	t := &MerkleTree{}
+	level := append([]MerkleHash(nil), leaves...)
+	t.levels = append(t.levels, level)
+	for len(level) > 1 {
+		next := make([]MerkleHash, (len(level)+1)/2)
+		for i := 0; i+1 < len(level); i += 2 {
+			next[i/2] = nodeHash(&level[i], &level[i+1])
+		}
+		if len(level)%2 == 1 {
+			next[len(next)-1] = level[len(level)-1]
+		}
+		level = next
+		t.levels = append(t.levels, level)
+	}
+	return t
+}
+
+// NumLeaves returns the leaf count the tree was built over.
+func (t *MerkleTree) NumLeaves() int { return len(t.levels[0]) }
+
+// Root returns the tree's root hash.
+func (t *MerkleTree) Root() MerkleHash {
+	return t.levels[len(t.levels)-1][0]
+}
+
+// AppendProof appends leaf i's inclusion proof (the sibling hash at
+// each level where one exists, leaf level first) to dst and returns
+// the extended slice. Proof length is at most ceil(log2(NumLeaves)).
+func (t *MerkleTree) AppendProof(dst []MerkleHash, i int) []MerkleHash {
+	if i < 0 || i >= t.NumLeaves() {
+		panic("keys: Merkle proof index out of range")
+	}
+	for _, level := range t.levels[:len(t.levels)-1] {
+		if sib := i ^ 1; sib < len(level) {
+			dst = append(dst, level[sib])
+		}
+		i >>= 1
+	}
+	return dst
+}
+
+// VerifyMerkleProof recomputes the root implied by leaf sitting at
+// position index of a numLeaves-leaf tree with the given sibling
+// proof. ok is false when the proof length does not match the position
+// (too short, too long, or an out-of-range index): a false proof never
+// yields a usable root.
+func VerifyMerkleProof(leaf MerkleHash, index, numLeaves int, proof []MerkleHash) (root MerkleHash, ok bool) {
+	if index < 0 || index >= numLeaves || numLeaves < 1 {
+		return MerkleHash{}, false
+	}
+	h := leaf
+	p := 0
+	for numLeaves > 1 {
+		if sib := index ^ 1; sib < numLeaves {
+			if p >= len(proof) {
+				return MerkleHash{}, false
+			}
+			if index&1 == 0 {
+				h = nodeHash(&h, &proof[p])
+			} else {
+				h = nodeHash(&proof[p], &h)
+			}
+			p++
+		}
+		index >>= 1
+		numLeaves = (numLeaves + 1) / 2
+	}
+	if p != len(proof) {
+		return MerkleHash{}, false
+	}
+	return h, true
+}
+
+// SignRoot signs a Merkle root: one RSA signature covering every
+// packet of the interval.
+func (s *Signer) SignRoot(root MerkleHash) ([]byte, error) {
+	return s.Sign(root[:])
+}
+
+// VerifyRoot checks an interval root signature without caching.
+func VerifyRoot(pub *rsa.PublicKey, root MerkleHash, sig []byte) error {
+	return Verify(pub, root[:], sig)
+}
+
+// rootCacheSize bounds the RootVerifier's verified-root memory. Rekey
+// message IDs wrap at 64, and a member only ever straddles a few
+// intervals, so a handful of entries already gives a ~100% hit rate
+// after the first packet of each interval.
+const rootCacheSize = 8
+
+// RootVerifier amortizes interval signature checks: the first packet
+// of an interval pays the RSA verification of the signed root, every
+// later packet whose proof recomputes the same root is a cache hit.
+// It is safe for concurrent use.
+type RootVerifier struct {
+	pub *rsa.PublicKey
+
+	mu sync.Mutex
+	// cache is a tiny FIFO-evicted set of verified roots.
+	cache [rootCacheSize]MerkleHash
+	used  int
+	next  int
+}
+
+// NewRootVerifier returns a verifier trusting the given public key.
+func NewRootVerifier(pub *rsa.PublicKey) *RootVerifier {
+	return &RootVerifier{pub: pub}
+}
+
+// Public returns the trusted public key.
+func (v *RootVerifier) Public() *rsa.PublicKey { return v.pub }
+
+// VerifyRoot checks sig over root, consulting and filling the verified
+// cache. cached reports whether the RSA check was skipped.
+func (v *RootVerifier) VerifyRoot(root MerkleHash, sig []byte) (cached bool, err error) {
+	v.mu.Lock()
+	for i := 0; i < v.used; i++ {
+		if v.cache[i] == root {
+			v.mu.Unlock()
+			return true, nil
+		}
+	}
+	v.mu.Unlock()
+	if err := VerifyRoot(v.pub, root, sig); err != nil {
+		return false, err
+	}
+	v.mu.Lock()
+	v.cache[v.next] = root
+	v.next = (v.next + 1) % rootCacheSize
+	if v.used < rootCacheSize {
+		v.used++
+	}
+	v.mu.Unlock()
+	return false, nil
+}

@@ -1,0 +1,297 @@
+package keys
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+func merkleLeaves(rng *rand.Rand, n int) []MerkleHash {
+	leaves := make([]MerkleHash, n)
+	for i := range leaves {
+		var body [32]byte
+		for j := range body {
+			body[j] = byte(rng.Uint32())
+		}
+		leaves[i] = LeafHash(DomainENC, body[:])
+	}
+	return leaves
+}
+
+// refRoot recomputes the root by straightforward level reduction,
+// independent of the MerkleTree structure.
+func refRoot(level []MerkleHash) MerkleHash {
+	for len(level) > 1 {
+		var next []MerkleHash
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, nodeHash(&level[i], &level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+func TestMerkleProofsAllLeavesAllSizes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 46, 47, 64, 100} {
+		leaves := merkleLeaves(rng, n)
+		tree := NewMerkleTree(leaves)
+		if tree.NumLeaves() != n {
+			t.Fatalf("NumLeaves = %d, want %d", tree.NumLeaves(), n)
+		}
+		if want := refRoot(leaves); tree.Root() != want {
+			t.Fatalf("n=%d: root mismatch vs reference reduction", n)
+		}
+		for i := 0; i < n; i++ {
+			proof := tree.AppendProof(nil, i)
+			root, ok := VerifyMerkleProof(leaves[i], i, n, proof)
+			if !ok || root != tree.Root() {
+				t.Fatalf("n=%d leaf %d: proof did not verify (ok=%v)", n, i, ok)
+			}
+			// Tampered leaf must yield a different root.
+			bad := leaves[i]
+			bad[0] ^= 1
+			root, ok = VerifyMerkleProof(bad, i, n, proof)
+			if ok && root == tree.Root() {
+				t.Fatalf("n=%d leaf %d: tampered leaf reproduced the root", n, i)
+			}
+			// Wrong position must not verify to the same root.
+			if n > 1 {
+				j := (i + 1) % n
+				root, ok = VerifyMerkleProof(leaves[i], j, n, proof)
+				if ok && root == tree.Root() {
+					t.Fatalf("n=%d: leaf %d verified at position %d", n, i, j)
+				}
+			}
+			// Truncated and extended proofs are rejected outright.
+			if len(proof) > 0 {
+				if _, ok := VerifyMerkleProof(leaves[i], i, n, proof[:len(proof)-1]); ok {
+					t.Fatalf("n=%d leaf %d: truncated proof accepted", n, i)
+				}
+			}
+			if _, ok := VerifyMerkleProof(leaves[i], i, n, append(append([]MerkleHash(nil), proof...), MerkleHash{})); ok {
+				t.Fatalf("n=%d leaf %d: extended proof accepted", n, i)
+			}
+		}
+	}
+}
+
+func TestMerkleProofLengthLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	for _, n := range []int{1, 2, 46, 64, 1000, 4096} {
+		tree := NewMerkleTree(merkleLeaves(rng, n))
+		maxLen := 0
+		for i := 0; i < n; i++ {
+			if l := len(tree.AppendProof(nil, i)); l > maxLen {
+				maxLen = l
+			}
+		}
+		bound := 0
+		for c := n; c > 1; c = (c + 1) / 2 {
+			bound++
+		}
+		if maxLen > bound {
+			t.Fatalf("n=%d: proof length %d exceeds ceil(log2) bound %d", n, maxLen, bound)
+		}
+	}
+}
+
+func TestLeafHashDomainSeparation(t *testing.T) {
+	body := []byte("same bytes")
+	if LeafHash(DomainENC, body) == LeafHash(DomainUSR, body) {
+		t.Fatal("ENC and USR leaves collide on identical bodies")
+	}
+	// A leaf hash must differ from a plain hash of the same bytes and
+	// from an interior node over them.
+	plain := sha256.Sum256(body)
+	if LeafHash(DomainENC, body) == plain {
+		t.Fatal("leaf hash equals undomained SHA-256")
+	}
+}
+
+func TestVerifyMerkleProofRejectsBadPositions(t *testing.T) {
+	leaf := LeafHash(DomainENC, []byte("x"))
+	if _, ok := VerifyMerkleProof(leaf, -1, 4, nil); ok {
+		t.Fatal("negative index accepted")
+	}
+	if _, ok := VerifyMerkleProof(leaf, 4, 4, nil); ok {
+		t.Fatal("index == numLeaves accepted")
+	}
+	if _, ok := VerifyMerkleProof(leaf, 0, 0, nil); ok {
+		t.Fatal("zero-leaf tree accepted")
+	}
+	// Single-leaf tree: the leaf is the root, the proof is empty.
+	root, ok := VerifyMerkleProof(leaf, 0, 1, nil)
+	if !ok || root != leaf {
+		t.Fatal("single-leaf proof failed")
+	}
+}
+
+func TestRootVerifierCachesAcrossPackets(t *testing.T) {
+	signer, err := NewSigner(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	tree := NewMerkleTree(merkleLeaves(rng, 46))
+	sig, err := signer.SignRoot(tree.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewRootVerifier(signer.Public())
+	cached, err := v.VerifyRoot(tree.Root(), sig)
+	if err != nil || cached {
+		t.Fatalf("first verify: cached=%v err=%v, want fresh success", cached, err)
+	}
+	for i := 0; i < 10; i++ {
+		cached, err = v.VerifyRoot(tree.Root(), sig)
+		if err != nil || !cached {
+			t.Fatalf("repeat verify %d: cached=%v err=%v, want cache hit", i, cached, err)
+		}
+	}
+	// A different root with the same signature must fail and stay
+	// uncached.
+	other := tree.Root()
+	other[0] ^= 1
+	if _, err := v.VerifyRoot(other, sig); err == nil {
+		t.Fatal("forged root accepted")
+	}
+	if cached, _ := v.VerifyRoot(tree.Root(), sig); !cached {
+		t.Fatal("genuine root evicted by failed verification")
+	}
+}
+
+func TestRootVerifierCacheEviction(t *testing.T) {
+	signer, err := NewSigner(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewRootVerifier(signer.Public())
+	roots := make([]MerkleHash, rootCacheSize+2)
+	for i := range roots {
+		roots[i] = LeafHash(DomainENC, []byte{byte(i)})
+		sig, err := signer.SignRoot(roots[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached, err := v.VerifyRoot(roots[i], sig); err != nil || cached {
+			t.Fatalf("root %d: cached=%v err=%v", i, cached, err)
+		}
+	}
+	// The oldest roots have been evicted; the newest are still cached.
+	sigLast, _ := signer.SignRoot(roots[len(roots)-1])
+	if cached, _ := v.VerifyRoot(roots[len(roots)-1], sigLast); !cached {
+		t.Fatal("most recent root not cached")
+	}
+	sig0, _ := signer.SignRoot(roots[0])
+	if cached, _ := v.VerifyRoot(roots[0], sig0); cached {
+		t.Fatal("evicted root still reported cached")
+	}
+}
+
+// FuzzVerifyMerkleProof throws arbitrary positions and mutated proofs
+// at the verifier: it must never reproduce the genuine root except for
+// the genuine (leaf, index, proof) triple.
+func FuzzVerifyMerkleProof(f *testing.F) {
+	f.Add(uint8(5), uint8(2), uint8(0), uint8(0))
+	f.Add(uint8(46), uint8(0), uint8(1), uint8(7))
+	f.Add(uint8(1), uint8(0), uint8(0xff), uint8(31))
+	f.Fuzz(func(t *testing.T, nRaw, iRaw, flip, flipPos uint8) {
+		n := int(nRaw%64) + 1
+		i := int(iRaw) % n
+		rng := rand.New(rand.NewPCG(uint64(nRaw), uint64(iRaw)))
+		leaves := merkleLeaves(rng, n)
+		tree := NewMerkleTree(leaves)
+		proof := tree.AppendProof(nil, i)
+		root, ok := VerifyMerkleProof(leaves[i], i, n, proof)
+		if !ok || root != tree.Root() {
+			t.Fatalf("genuine proof rejected (n=%d i=%d)", n, i)
+		}
+		if flip != 0 && len(proof) > 0 {
+			k := int(flipPos) % len(proof)
+			proof[k][int(flipPos)%HashSize] ^= flip
+			root, ok = VerifyMerkleProof(leaves[i], i, n, proof)
+			if ok && root == tree.Root() {
+				t.Fatalf("mutated proof reproduced root (n=%d i=%d)", n, i)
+			}
+		}
+	})
+}
+
+// BenchmarkMerkleVerify pins the O(log n) claim: per-packet verify
+// cost grows by one hash per doubling, not linearly.
+func BenchmarkMerkleVerify(b *testing.B) {
+	rng := rand.New(rand.NewPCG(10, 10))
+	for _, n := range []int{64, 4096} {
+		leaves := merkleLeaves(rng, n)
+		tree := NewMerkleTree(leaves)
+		proof := tree.AppendProof(nil, n/2)
+		root := tree.Root()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got, ok := VerifyMerkleProof(leaves[n/2], n/2, n, proof)
+				if !ok || got != root {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMerkleBuild(b *testing.B) {
+	// One leaf per ENC packet of a large interval, packet-sized bodies:
+	// the server-side per-interval hashing cost.
+	body := bytes.Repeat([]byte{0xa5}, 1027)
+	for _, n := range []int{46, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			leaves := make([]MerkleHash, n)
+			b.SetBytes(int64(n * len(body)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range leaves {
+					leaves[j] = LeafHash(DomainENC, body)
+				}
+				tree := NewMerkleTree(leaves)
+				_ = tree.Root()
+			}
+		})
+	}
+}
+
+// BenchmarkSignRootVsPerPacket contrasts one root signature per
+// interval against the sign-per-packet cost it replaces.
+func BenchmarkSignRootVsPerPacket(b *testing.B) {
+	signer, err := NewSigner(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := bytes.Repeat([]byte{0x3c}, 1027)
+	const pkts = 46
+	b.Run("interval-merkle", func(b *testing.B) {
+		leaves := make([]MerkleHash, pkts)
+		for i := 0; i < b.N; i++ {
+			for j := range leaves {
+				leaves[j] = LeafHash(DomainENC, body)
+			}
+			tree := NewMerkleTree(leaves)
+			if _, err := signer.SignRoot(tree.Root()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-packet", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < pkts; j++ {
+				if _, err := signer.Sign(body); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -90,6 +90,11 @@ const (
 	// restored from a snapshot.
 	CShardBatches
 	CShardRestores
+	// Zero-copy send path.
+	// CSendBufReuse counts pooled send buffers served from the pool;
+	// CSendBufAlloc counts fresh allocations the pool had to make.
+	CSendBufReuse
+	CSendBufAlloc
 
 	numCounters
 )
@@ -123,6 +128,8 @@ var counterNames = [numCounters]string{
 	COracleViolations: "oracle_violations",
 	CShardBatches:     "shard_batches",
 	CShardRestores:    "shard_restores",
+	CSendBufReuse:     "sendbuf_reuse",
+	CSendBufAlloc:     "sendbuf_alloc",
 }
 
 // Gauge identifies a last-value-wins measurement.
@@ -171,32 +178,44 @@ const (
 	// HCoordMerge is seconds the coordinator spends merging shard
 	// results under the top tree and signing, per interval.
 	HCoordMerge
+	// HSignRoot is seconds per interval spent building the interval
+	// Merkle tree and signing its root (the amortized-signing cost that
+	// replaces sign-per-message).
+	HSignRoot
+	// HMerkleProofBytes is the auth trailer size in bytes per packet
+	// kind built (the O(log n) proof overhead the paper's capacity
+	// analysis must budget for).
+	HMerkleProofBytes
 
 	numHists
 )
 
 var histNames = [numHists]string{
-	HRoundLatency:   "round_latency_s",
-	HNACKsPerRound:  "nacks_per_round",
-	HParityPerBlock: "parity_per_block",
-	HBatchSize:      "batch_size",
-	HRekeyBuild:     "rekey_build_s",
-	HParityEncode:   "parity_encode_s",
-	HShardBatch:     "shard_batch_s",
-	HCoordMerge:     "coord_merge_s",
+	HRoundLatency:     "round_latency_s",
+	HNACKsPerRound:    "nacks_per_round",
+	HParityPerBlock:   "parity_per_block",
+	HBatchSize:        "batch_size",
+	HRekeyBuild:       "rekey_build_s",
+	HParityEncode:     "parity_encode_s",
+	HShardBatch:       "shard_batch_s",
+	HCoordMerge:       "coord_merge_s",
+	HSignRoot:         "sign_root_s",
+	HMerkleProofBytes: "merkle_proof_bytes",
 }
 
 // histBounds are each histogram's bucket upper bounds (a final +Inf
 // bucket is implicit). Kept small: histograms are bounded by design.
 var histBounds = [numHists][]float64{
-	HRoundLatency:   {0.001, 0.005, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5},
-	HNACKsPerRound:  {0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000},
-	HParityPerBlock: {0, 1, 2, 3, 5, 8, 13, 21, 34, 55},
-	HBatchSize:      {1, 2, 5, 10, 20, 50, 100, 500, 1000, 5000},
-	HRekeyBuild:     {0.0001, 0.0005, 0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1, 5},
-	HParityEncode:   {0.0001, 0.0005, 0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1, 5},
-	HShardBatch:     {0.0001, 0.0005, 0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1, 5},
-	HCoordMerge:     {0.00001, 0.0001, 0.0005, 0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1},
+	HRoundLatency:     {0.001, 0.005, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5},
+	HNACKsPerRound:    {0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000},
+	HParityPerBlock:   {0, 1, 2, 3, 5, 8, 13, 21, 34, 55},
+	HBatchSize:        {1, 2, 5, 10, 20, 50, 100, 500, 1000, 5000},
+	HRekeyBuild:       {0.0001, 0.0005, 0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1, 5},
+	HParityEncode:     {0.0001, 0.0005, 0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1, 5},
+	HShardBatch:       {0.0001, 0.0005, 0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1, 5},
+	HCoordMerge:       {0.00001, 0.0001, 0.0005, 0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1},
+	HSignRoot:         {0.00001, 0.0001, 0.0005, 0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1},
+	HMerkleProofBytes: {0, 64, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048},
 }
 
 // EventKind types a trace event.

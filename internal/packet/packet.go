@@ -159,18 +159,28 @@ const ParityPayloadLen = PacketLen - FECOffset
 
 // Marshal renders the packet into exactly PacketLen bytes.
 func (p *PARITY) Marshal() ([]byte, error) {
-	if p.MsgID > MaxMsgID {
-		return nil, fmt.Errorf("packet: message ID %d exceeds 6 bits", p.MsgID)
+	return p.AppendMarshal(make([]byte, 0, PacketLen))
+}
+
+// AppendMarshal appends the packet's PacketLen wire bytes to dst and
+// returns the extended slice; with enough capacity in dst it does not
+// allocate (the send-path fast path).
+func (p *PARITY) AppendMarshal(dst []byte) ([]byte, error) {
+	return AppendParity(dst, p.MsgID, p.BlockID, p.Seq, p.Payload)
+}
+
+// AppendParity appends a PARITY packet's PacketLen wire bytes to dst
+// without requiring a PARITY struct, so a send path holding only the
+// cached payload slice can build the datagram with zero allocations.
+func AppendParity(dst []byte, msgID, blockID, seq uint8, payload []byte) ([]byte, error) {
+	if msgID > MaxMsgID {
+		return nil, fmt.Errorf("packet: message ID %d exceeds 6 bits", msgID)
 	}
-	if len(p.Payload) != ParityPayloadLen {
-		return nil, fmt.Errorf("packet: parity payload %d bytes, want %d", len(p.Payload), ParityPayloadLen)
+	if len(payload) != ParityPayloadLen {
+		return nil, fmt.Errorf("packet: parity payload %d bytes, want %d", len(payload), ParityPayloadLen)
 	}
-	b := make([]byte, PacketLen)
-	b[0] = byte(TypePARITY)<<6 | p.MsgID
-	b[1] = p.BlockID
-	b[2] = p.Seq
-	copy(b[FECOffset:], p.Payload)
-	return b, nil
+	dst = append(dst, byte(TypePARITY)<<6|msgID, blockID, seq)
+	return append(dst, payload...), nil
 }
 
 // ParsePARITY decodes a PARITY packet produced by Marshal.

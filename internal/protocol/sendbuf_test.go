@@ -1,0 +1,83 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestSendBufPoolReuseAndCounters(t *testing.T) {
+	reg := obs.New()
+	p := NewBufPool(64, reg)
+
+	a := p.Get()
+	a.Store(append(a.Take(), 1, 2, 3))
+	if got := a.Bytes(); len(got) != 3 || got[0] != 1 {
+		t.Fatalf("Bytes() = %v, want [1 2 3]", got)
+	}
+	a.Release()
+
+	b := p.Get()
+	if len(b.Bytes()) != 0 {
+		t.Fatalf("recycled buffer not reset: len = %d", len(b.Bytes()))
+	}
+	if cap(b.Take()) < 64 {
+		t.Fatalf("recycled buffer cap = %d, want >= 64", cap(b.Take()))
+	}
+	b.Release()
+
+	snap := reg.Snapshot()
+	if snap.Counters["sendbuf_alloc"] < 1 {
+		t.Errorf("sendbuf_alloc = %d, want >= 1", snap.Counters["sendbuf_alloc"])
+	}
+	if snap.Counters["sendbuf_reuse"] < 1 {
+		t.Errorf("sendbuf_reuse = %d, want >= 1", snap.Counters["sendbuf_reuse"])
+	}
+}
+
+func TestSendBufRetainBlocksRepooling(t *testing.T) {
+	reg := obs.New()
+	p := NewBufPool(8, reg)
+
+	sb := p.Get() // alloc #1, refs=1
+	sb.Retain()   // refs=2
+	sb.Release()  // refs=1: still held, must NOT return to the pool
+
+	other := p.Get() // pool empty -> alloc #2
+	if got := reg.Snapshot().Counters["sendbuf_alloc"]; got != 2 {
+		t.Fatalf("sendbuf_alloc after Get with live buffer = %d, want 2", got)
+	}
+	other.Release()
+	sb.Release() // refs=0: now pooled
+}
+
+func TestSendBufOverReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	p := NewBufPool(8, nil)
+	sb := p.Get()
+	sb.Release()
+	sb.Release()
+}
+
+// TestSendBufSteadyStateAllocs is the pool's core guarantee: a warm
+// get/build/release cycle allocates nothing.
+func TestSendBufSteadyStateAllocs(t *testing.T) {
+	p := NewBufPool(2048, nil)
+	payload := make([]byte, 1027)
+	warm := p.Get()
+	warm.Store(append(warm.Take(), payload...))
+	warm.Release()
+
+	allocs := testing.AllocsPerRun(100, func() {
+		sb := p.Get()
+		sb.Store(append(sb.Take(), payload...))
+		sb.Release()
+	})
+	if allocs != 0 {
+		t.Errorf("allocs per get/build/release cycle = %v, want 0", allocs)
+	}
+}

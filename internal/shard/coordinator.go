@@ -28,9 +28,10 @@ type CoordinatorConfig struct {
 	// models one single-core server and the speedup measured is the
 	// coordinator's horizontal fan-out, not intra-batch threading.
 	ShardWorkers int
-	// Signer, when non-nil, signs every merged interval's canonical
-	// digest -- one signature per consistent cut, however many shards
-	// contributed.
+	// Signer, when non-nil, signs every merged interval's Merkle auth
+	// root (Merged.AuthRoot) -- one signature per consistent cut,
+	// however many shards contributed, with per-slice inclusion proofs
+	// available via Merged.SliceProof.
 	Signer *keys.Signer
 	// Obs receives coordinator and shard metrics; nil disables them.
 	Obs *obs.Registry
@@ -59,7 +60,7 @@ type Coordinator struct {
 
 	mu sync.Mutex
 	// The state below is guarded by mu.
-	top      []topNode // guarded by mu; internal top nodes, IDs [0, leafBase)
+	top      []topNode       // guarded by mu; internal top nodes, IDs [0, leafBase)
 	topGen   *keys.Generator // guarded by mu
 	msgSeq   uint8           // guarded by mu
 	restores int             // guarded by mu; counts RestoreShard calls for gen derivation
@@ -275,7 +276,7 @@ func (c *Coordinator) Rekey(ctx context.Context) (*Merged, error) {
 		return nil, err
 	}
 	if c.signer != nil {
-		sig, err := c.signer.Sign(m.SignedBytes())
+		sig, err := c.signer.SignRoot(m.AuthRoot())
 		if err != nil {
 			return nil, fmt.Errorf("shard: signing merged message: %w", err)
 		}

@@ -242,6 +242,58 @@ func TestSignedMergedVerifies(t *testing.T) {
 	}
 }
 
+// TestSliceProofsVerifyIndependently checks the amortized path: each
+// slice segment (and the top segment) proves itself into the signed
+// interval root via its inclusion proof, with the RSA check paid once
+// and cached across segments.
+func TestSliceProofsVerifyIndependently(t *testing.T) {
+	signer, err := keys.NewSigner(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := tuning.Default()
+	tn.Shards = 4
+	tn.ShardRange = 4
+	c, err := NewCoordinator(CoordinatorConfig{Tuning: tn, KeySeed: 6, Signer: signer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joins []keytree.Member
+	for m := 0; m < 40; m++ {
+		joins = append(joins, keytree.Member(m))
+	}
+	queueAll(t, c, joins, nil)
+	m, err := c.Rekey(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := keys.NewRootVerifier(signer.Public())
+	n := m.NumAuthLeaves()
+	for s := 0; s < len(m.Slices); s++ {
+		proof := m.SliceProof(nil, s)
+		if err := VerifySegment(v, keys.DomainSlice, m.SliceBytes(s), s, n, proof, m.Sig); err != nil {
+			t.Fatalf("slice %d: %v", s, err)
+		}
+		// A segment under the wrong index or with tampered bytes fails.
+		if err := VerifySegment(v, keys.DomainSlice, m.SliceBytes(s), (s+1)%len(m.Slices), n, proof, m.Sig); err == nil {
+			t.Fatalf("slice %d verified under the wrong index", s)
+		}
+		seg := m.SliceBytes(s)
+		seg[len(seg)-1] ^= 1
+		if err := VerifySegment(v, keys.DomainSlice, seg, s, n, proof, m.Sig); err == nil {
+			t.Fatalf("slice %d: tampered segment verified", s)
+		}
+		// The slice domain must not accept the top segment's position.
+		if err := VerifySegment(v, keys.DomainTop, m.SliceBytes(s), s, n, proof, m.Sig); err == nil {
+			t.Fatalf("slice %d verified under the top domain", s)
+		}
+	}
+	topProof := m.SliceProof(nil, n-1)
+	if err := VerifySegment(v, keys.DomainTop, m.TopBytes(), n-1, n, topProof, m.Sig); err != nil {
+		t.Fatalf("top segment: %v", err)
+	}
+}
+
 // TestWireDeliversToMemberViews materialises a multi-shard interval
 // into per-shard ENC packets and replays each member's packet into a
 // client-side UserView exactly as a member would consume it: rederive

@@ -189,54 +189,113 @@ func (m *Merged) ForEachEncryption(fn func(keytree.Encryption)) {
 }
 
 // signedMagic versions the canonical signed encoding of a merged
-// message.
-const signedMagic = "SHMRG1\n\x00"
+// message. "2" is the Merkle revision: the interval signature covers a
+// tree root over per-slice segments rather than one flat byte string.
+const signedMagic = "SHMRG2\n\x00"
 
-// SignedBytes returns the canonical encoding the interval signature
-// covers: message ID, topology, every slice's MaxKID and user list,
-// and every encryption (ID + wrapped bytes -- public wire data; no raw
-// key material). Members verify the same bytes they can reassemble
-// from received packets.
-func (m *Merged) SignedBytes() []byte {
-	var buf []byte
-	u32 := func(v uint32) { buf = binary.BigEndian.AppendUint32(buf, v) }
-	u64 := func(v uint64) { buf = binary.BigEndian.AppendUint64(buf, v) }
-	enc := func(e keytree.Encryption) {
-		u32(e.ID)
-		buf = append(buf, e.Wrapped[:]...)
-	}
+// appendSegHeader pins the interval context -- magic, message ID,
+// topology, leaf position -- into every signed segment, so a segment
+// can never be replayed under a different interval or slot.
+func (m *Merged) appendSegHeader(buf []byte, index int) []byte {
 	buf = append(buf, signedMagic...)
 	buf = append(buf, m.MsgID)
-	u32(uint32(m.d))
-	u32(uint32(m.topLevel))
-	u32(uint32(len(m.Slices)))
-	for _, sl := range m.Slices {
-		u64(uint64(int64(sl.MaxKID)))
-		u32(uint32(len(sl.userIDs)))
-		for _, u := range sl.userIDs {
-			u64(uint64(u))
-		}
-		if sl.Res == nil {
-			u32(0)
-			continue
-		}
-		u32(uint32(len(sl.Res.Encryptions)))
-		pos := sl.Pos
-		sl.Res.ForEachEncryption(func(e keytree.Encryption) {
-			e.ID = uint32(globalize(m.d, pos, int(e.ID)))
-			enc(e)
-		})
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.d))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.topLevel))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Slices)))
+	return binary.BigEndian.AppendUint32(buf, uint32(index))
+}
+
+func appendEnc(buf []byte, e keytree.Encryption) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, e.ID)
+	return append(buf, e.Wrapped[:]...)
+}
+
+// SliceBytes returns slice s's canonical signed segment: the interval
+// header plus the slice's globalized MaxKID, user list and encryptions
+// (ID + wrapped bytes -- public wire data; no raw key material).
+// Members verify the same bytes they can reassemble from received
+// packets.
+func (m *Merged) SliceBytes(s int) []byte {
+	sl := m.Slices[s]
+	buf := m.appendSegHeader(nil, s)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(sl.MaxKID)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(sl.userIDs)))
+	for _, u := range sl.userIDs {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(u))
 	}
-	u32(uint32(len(m.TopEncs)))
+	if sl.Res == nil {
+		return binary.BigEndian.AppendUint32(buf, 0)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(sl.Res.Encryptions)))
+	pos := sl.Pos
+	sl.Res.ForEachEncryption(func(e keytree.Encryption) {
+		e.ID = uint32(globalize(m.d, pos, int(e.ID)))
+		buf = appendEnc(buf, e)
+	})
+	return buf
+}
+
+// TopBytes returns the coordinator segment: the interval header plus
+// the top-tree encryptions. It is the auth tree's last leaf.
+func (m *Merged) TopBytes() []byte {
+	buf := m.appendSegHeader(nil, len(m.Slices))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.TopEncs)))
 	for _, e := range m.TopEncs {
-		enc(e)
+		buf = appendEnc(buf, e)
 	}
 	return buf
 }
 
-// VerifyMerged checks a merged message's interval signature.
+// NumAuthLeaves returns the interval auth tree's leaf count: one per
+// slice plus the coordinator's top segment.
+func (m *Merged) NumAuthLeaves() int { return len(m.Slices) + 1 }
+
+// authTree builds the interval's Merkle tree: leaf s hashes slice s's
+// segment under the slice domain; the last leaf hashes the top segment
+// under the top domain.
+func (m *Merged) authTree() *keys.MerkleTree {
+	leaves := make([]keys.MerkleHash, m.NumAuthLeaves())
+	for s := range m.Slices {
+		leaves[s] = keys.LeafHash(keys.DomainSlice, m.SliceBytes(s))
+	}
+	leaves[len(m.Slices)] = keys.LeafHash(keys.DomainTop, m.TopBytes())
+	return keys.NewMerkleTree(leaves)
+}
+
+// AuthRoot returns the Merkle root the interval signature covers: one
+// RSA signature for every shard's slice and the top tree.
+func (m *Merged) AuthRoot() keys.MerkleHash { return m.authTree().Root() }
+
+// SliceProof appends the inclusion proof for auth leaf index (a slice
+// index, or len(Slices) for the top segment) to dst: what a
+// shard-channel consumer needs to verify just its slice in
+// O(log shards) hashing.
+func (m *Merged) SliceProof(dst []keys.MerkleHash, index int) []keys.MerkleHash {
+	return m.authTree().AppendProof(dst, index)
+}
+
+// VerifyMerged checks a merged message's interval signature: the
+// recomputed auth root against Sig. One RSA verification covers every
+// slice of the interval.
 func VerifyMerged(pub *rsa.PublicKey, m *Merged) error {
-	return keys.Verify(pub, m.SignedBytes(), m.Sig)
+	return keys.VerifyRoot(pub, m.AuthRoot(), m.Sig)
+}
+
+// VerifySegment checks one signed segment against an interval root
+// signature using its inclusion proof: O(log shards) hashing plus one
+// RSA check that v caches across segments of the same interval. domain
+// is keys.DomainSlice or keys.DomainTop; index and numLeaves position
+// the leaf (see SliceProof).
+func VerifySegment(v *keys.RootVerifier, domain byte, segment []byte, index, numLeaves int, proof []keys.MerkleHash, sig []byte) error {
+	leaf := keys.LeafHash(domain, segment)
+	root, ok := keys.VerifyMerkleProof(leaf, index, numLeaves, proof)
+	if !ok {
+		return fmt.Errorf("shard: segment proof does not verify (leaf %d of %d)", index, numLeaves)
+	}
+	if _, err := v.VerifyRoot(root, sig); err != nil {
+		return fmt.Errorf("shard: interval root signature: %w", err)
+	}
+	return nil
 }
 
 // WireMessage is a merged interval rendered into wire-format ENC

@@ -50,11 +50,11 @@ type Shard struct {
 
 	mu sync.Mutex
 	// The state below is guarded by mu.
-	tree     *keytree.Tree     // guarded by mu
-	joins    []keytree.Member  // guarded by mu
-	leaves   []keytree.Member  // guarded by mu
+	tree     *keytree.Tree           // guarded by mu
+	joins    []keytree.Member        // guarded by mu
+	leaves   []keytree.Member        // guarded by mu
 	queued   map[keytree.Member]bool // guarded by mu
-	restores int               // guarded by mu
+	restores int                     // guarded by mu
 }
 
 // New creates an empty shard.

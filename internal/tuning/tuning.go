@@ -56,6 +56,13 @@ type Tuning struct {
 	// so W-wide blocks are dealt round-robin across shards. 0 means
 	// DefaultShardRange. >= 0.
 	ShardRange int
+	// GF256Kernel forces the GF(2^8) vector kernel tier behind the FEC
+	// hot path ("generic", "ssse3", "avx2", "gfni"); empty means runtime
+	// CPUID dispatch. Like Strategy it is validated where it is applied
+	// (rekey.NewServer, via gf256.SetKernel) -- this package sits below
+	// gf256's consumers. The setting is process-global; it exists so
+	// tests and benchmarks can pin a tier.
+	GF256Kernel string
 }
 
 // DefaultShardRange is the member-ID block width used when the

@@ -115,7 +115,9 @@ func (c *Client) Run(ctx context.Context) error {
 		c.conn.SetReadDeadline(time.Now()) //nolint:errcheck
 	})
 	defer stopWatch()
-	buf := make([]byte, 2048)
+	// Sized for the largest possible datagram: a packet plus a
+	// maximal auth trailer on a signed interval.
+	buf := make([]byte, packet.PacketLen+packet.MaxAuthTrailer)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err

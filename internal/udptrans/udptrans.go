@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/blockplan"
 	"repro/internal/obs"
 	"repro/internal/packet"
+	"repro/internal/protocol"
 )
 
 // Server distributes rekey messages to registered member addresses.
@@ -26,6 +28,9 @@ type Server struct {
 	ks   *rekey.Server
 	conn *net.UDPConn
 	obs  *obs.Registry // shared with ks; nil when unobserved
+	// bufs pools the datagram build buffers of the multicast hot path;
+	// sized for the largest possible datagram (packet + auth trailer).
+	bufs *protocol.BufPool
 
 	mu    sync.Mutex
 	addrs map[rekey.MemberID]*net.UDPAddr // guarded by mu
@@ -48,7 +53,13 @@ func NewServer(ks *rekey.Server, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udptrans: %w", err)
 	}
-	return &Server{ks: ks, conn: conn, obs: ks.Obs(), addrs: make(map[rekey.MemberID]*net.UDPAddr)}, nil
+	return &Server{
+		ks:    ks,
+		conn:  conn,
+		obs:   ks.Obs(),
+		bufs:  protocol.NewBufPool(packet.PacketLen+packet.MaxAuthTrailer, ks.Obs()),
+		addrs: make(map[rekey.MemberID]*net.UDPAddr),
+	}, nil
 }
 
 // Addr returns the server's bound address (for clients' NACKs).
@@ -71,14 +82,27 @@ func (s *Server) RemoveMemberAddr(id rekey.MemberID) {
 	delete(s.addrs, id)
 }
 
-func (s *Server) addrList() []*net.UDPAddr {
+// addrPorts snapshots the registered member addresses as netip values,
+// the form WriteToUDPAddrPort sends to without per-call sockaddr
+// allocations. Built once per multicast round, amortised over every
+// packet of the round.
+func (s *Server) addrPorts() []netip.AddrPort {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]*net.UDPAddr, 0, len(s.addrs))
+	out := make([]netip.AddrPort, 0, len(s.addrs))
 	for _, a := range s.addrs {
-		out = append(out, a)
+		out = append(out, addrPort(a))
 	}
 	return out
+}
+
+// addrPort converts a registered *net.UDPAddr to netip form. Resolved
+// IPv4 addresses often arrive in net.IP's 16-byte mapped encoding;
+// Unmap keeps them sendable through an IPv4-bound socket (a v4-in-6
+// netip address fails the address-family check in WriteToUDPAddrPort).
+func addrPort(a *net.UDPAddr) netip.AddrPort {
+	ap := a.AddrPort()
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
 }
 
 // Options tune one Distribute run's wire behaviour: timing and the
@@ -261,40 +285,70 @@ func (s *Server) Distribute(ctx context.Context, rm *rekey.RekeyMessage, opts Op
 }
 
 func (s *Server) multicastRefs(ctx context.Context, rm *rekey.RekeyMessage, refs []blockplan.Ref, pace time.Duration, st *Stats) error {
-	addrs := s.addrList()
+	addrs := s.addrPorts()
 	k := rm.Part.K
+	// One pooled buffer serves every parity datagram of the round; ENC
+	// datagrams are sent straight from the message's cached wire bytes.
+	buf := s.bufs.Get()
+	defer buf.Release()
 	for _, r := range refs {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		var raw []byte
-		var err error
-		if r.IsParity(k) {
-			p, perr := rm.Parity(r.Block, r.Shard-k)
-			if perr != nil {
-				return perr
-			}
-			raw, err = p.Marshal()
-			st.ParitySent++
-			s.obs.Inc(obs.CParitySent)
-		} else {
-			raw, err = rm.ENC[r.Block*k+r.Shard].Marshal()
-			st.EncSent++
-			s.obs.Inc(obs.CEncSent)
-		}
-		if err != nil {
+		if err := s.sendRef(rm, r, k, buf, addrs, st); err != nil {
 			return err
-		}
-		for _, a := range addrs {
-			if _, err := s.conn.WriteToUDP(raw, a); err != nil {
-				return fmt.Errorf("udptrans: multicast: %w", err)
-			}
 		}
 		if pace > 0 {
 			time.Sleep(pace)
 		}
 	}
 	return nil
+}
+
+// sendRef builds one ref's datagram and fans it out to every member
+// address. This is the transport's per-packet inner loop: ENC packets
+// reuse the interval's cached wire bytes outright, PARITY packets are
+// rebuilt into the pooled buffer from the cached FEC payload, and the
+// socket writes go through the AddrPort API -- zero allocations per
+// packet once the interval's caches are warm.
+//
+//rekeylint:hotpath
+func (s *Server) sendRef(rm *rekey.RekeyMessage, r blockplan.Ref, k int, buf *protocol.SendBuf, addrs []netip.AddrPort, st *Stats) error {
+	var wire []byte
+	if r.IsParity(k) {
+		w, err := rm.AppendWireParity(buf.Take(), r.Block, r.Shard-k)
+		if err != nil {
+			return err
+		}
+		buf.Store(w)
+		wire = w
+		st.ParitySent++
+		s.obs.Inc(obs.CParitySent)
+	} else {
+		w, err := rm.WireENC(r.Block*k + r.Shard)
+		if err != nil {
+			return err
+		}
+		wire = w
+		st.EncSent++
+		s.obs.Inc(obs.CEncSent)
+	}
+	// The fan-out borrows the buffer; with synchronous writes the
+	// retain/release pair brackets the sends, and an async sender would
+	// hold its reference until the kernel is done with the bytes.
+	buf.Retain()
+	defer buf.Release()
+	for _, a := range addrs {
+		if _, err := s.conn.WriteToUDPAddrPort(wire, a); err != nil {
+			return sendErr("multicast", err)
+		}
+	}
+	return nil
+}
+
+// sendErr wraps a socket error off the hot path (fmt allocates).
+func sendErr(op string, err error) error {
+	return fmt.Errorf("udptrans: %s: %w", op, err)
 }
 
 // collectNACKs listens for one round duration and aggregates feedback.
@@ -359,11 +413,10 @@ func (s *Server) collectNACKs(ctx context.Context, rm *rekey.RekeyMessage, block
 func (s *Server) unicastUSR(rm *rekey.RekeyMessage, users map[int]bool, dups int, st *Stats) error {
 	// Map node IDs back to member addresses via the server's group view.
 	for nodeID := range users {
-		usr, err := rm.USRFor(nodeID)
-		if err != nil {
-			return err
-		}
-		raw, err := usr.Marshal()
+		// WireUSR carries the auth trailer on signed messages and is the
+		// plain marshal otherwise; the unicast phase is the cold path, so
+		// the datagram is built per user rather than cached.
+		raw, err := rm.WireUSR(nodeID)
 		if err != nil {
 			return err
 		}
@@ -371,9 +424,10 @@ func (s *Server) unicastUSR(rm *rekey.RekeyMessage, users map[int]bool, dups int
 		if addr == nil {
 			continue // member departed or unknown
 		}
+		ap := addrPort(addr)
 		for j := 0; j < dups; j++ {
-			if _, err := s.conn.WriteToUDP(raw, addr); err != nil {
-				return fmt.Errorf("udptrans: unicast: %w", err)
+			if _, err := s.conn.WriteToUDPAddrPort(raw, ap); err != nil {
+				return sendErr("unicast", err)
 			}
 			st.UsrSent++
 			s.obs.Inc(obs.CUsrSent)

@@ -64,6 +64,9 @@ type Member struct {
 	// scratch holds the k decode output buffers, reused across blocks
 	// and messages via fec.DecodeInto.
 	scratch [][]byte // guarded by mu
+	// verifier, when non-nil, makes every ingested packet prove itself
+	// into a signed interval Merkle root (see auth.go). Guarded by mu.
+	verifier *keys.RootVerifier
 }
 
 // msgAssembly accumulates one rekey message's shards.
@@ -73,6 +76,10 @@ type msgAssembly struct {
 	shards map[int]map[int][]byte // block -> seq -> FEC payload
 	maxKID int
 	done   bool
+	// blockRoots records each block's verified Merkle subtree root
+	// (from ENC sub-proofs or PARITY aux roots); FEC-decoded blocks are
+	// re-verified against it before their encryptions are applied.
+	blockRoots map[int]keys.MerkleHash
 }
 
 // NewMember creates a member from its registration credentials.
@@ -96,6 +103,18 @@ func NewMember(c Credentials) (*Member, error) {
 // (decode-matrix cache hits/misses). Returns the Member for chaining.
 func (m *Member) SetObs(r *obs.Registry) *Member {
 	m.coder.SetObs(r)
+	return m
+}
+
+// SetVerifier attaches an interval-authentication verifier (built over
+// Server.SignerPublic): every ingested packet must then carry an auth
+// trailer proving it into a signed interval Merkle root. The root's
+// RSA signature is checked once per interval and cached; each packet
+// costs only its O(log n) proof. Returns the Member for chaining.
+func (m *Member) SetVerifier(v *keys.RootVerifier) *Member {
+	m.mu.Lock()
+	m.verifier = v
+	m.mu.Unlock()
 	return m
 }
 
@@ -139,35 +158,174 @@ func (m *Member) Done() bool {
 // ErrWrongMessage, ErrStale) for errors.Is dispatch; transports treat
 // all three as non-fatal.
 func (m *Member) Ingest(raw []byte) (IngestResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	raw, tr, err := m.splitAuthLocked(raw)
+	if err != nil {
+		return IngestResult{Block: -1, Seq: -1}, err
+	}
 	typ, err := packet.Detect(raw)
 	if err != nil {
 		return IngestResult{Block: -1, Seq: -1}, fmt.Errorf("%w: %v", ErrBadPacket, err)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	switch typ {
 	case packet.TypeENC:
 		p, err := packet.ParseENC(raw)
 		if err != nil {
 			return IngestResult{Kind: typ, Block: -1, Seq: -1}, fmt.Errorf("%w: %v", ErrBadPacket, err)
 		}
-		return m.ingestENCLocked(p, raw)
+		var blockRoot *keys.MerkleHash
+		if m.verifier != nil {
+			root, err := m.verifyENCAuth(raw, p, tr)
+			if err != nil {
+				return IngestResult{Kind: typ, MsgID: p.MsgID, Block: int(p.BlockID), Seq: int(p.Seq)}, err
+			}
+			blockRoot = &root
+		}
+		return m.ingestENCLocked(p, raw, blockRoot)
 	case packet.TypePARITY:
 		p, err := packet.ParsePARITY(raw)
 		if err != nil {
 			return IngestResult{Kind: typ, Block: -1, Seq: -1}, fmt.Errorf("%w: %v", ErrBadPacket, err)
 		}
-		return m.ingestPARITYLocked(p)
+		var blockRoot *keys.MerkleHash
+		if m.verifier != nil {
+			root, err := m.verifyPARITYAuth(p, tr)
+			if err != nil {
+				return IngestResult{Kind: typ, MsgID: p.MsgID, Block: int(p.BlockID), Seq: int(p.Seq)}, err
+			}
+			blockRoot = &root
+		}
+		return m.ingestPARITYLocked(p, blockRoot)
 	case packet.TypeUSR:
 		p, err := packet.ParseUSR(raw)
 		if err != nil {
 			return IngestResult{Kind: typ, Block: -1, Seq: -1}, fmt.Errorf("%w: %v", ErrBadPacket, err)
+		}
+		if m.verifier != nil {
+			if err := m.verifyUSRAuth(raw, tr); err != nil {
+				return IngestResult{Kind: typ, MsgID: p.MsgID, Block: -1, Seq: -1}, err
+			}
 		}
 		return m.ingestUSRLocked(p)
 	default:
 		return IngestResult{Kind: typ, Block: -1, Seq: -1},
 			fmt.Errorf("%w: member received %v packet", ErrBadPacket, typ)
 	}
+}
+
+// splitAuthLocked separates a datagram into packet bytes and auth
+// trailer under the member's policy. With a verifier set, every packet
+// must carry a structurally valid trailer. Without one, a well-formed
+// trailer is stripped and ignored -- the member interoperates with an
+// authenticating server without checking signatures -- but only when
+// the stripped packet still has a plausible wire length, so plain
+// fixed-length packets can never be misread as trailered ones.
+func (m *Member) splitAuthLocked(raw []byte) ([]byte, *packet.AuthTrailer, error) {
+	inner, tr, err := packet.SplitAuth(raw)
+	if m.verifier == nil {
+		if err != nil {
+			return raw, nil, nil
+		}
+		switch tr.Kind {
+		case packet.TypeENC, packet.TypePARITY:
+			if len(inner) != packet.PacketLen {
+				return raw, nil, nil
+			}
+		case packet.TypeUSR:
+			if len(inner) < 5 || (len(inner)-5)%packet.EncEntryLen != 0 {
+				return raw, nil, nil
+			}
+		}
+		return inner, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: interval auth: %v", ErrBadPacket, err)
+	}
+	return inner, tr, nil
+}
+
+// verifyRootLocked recomputes and checks the interval root: proof up
+// the top tree from a sub-tree root, then the cached RSA check.
+func (m *Member) verifyRootLocked(subRoot keys.MerkleHash, topIndex int, tr *packet.AuthTrailer) error {
+	root, ok := keys.VerifyMerkleProof(subRoot, topIndex, tr.NTop, tr.TopProof)
+	if !ok {
+		return fmt.Errorf("%w: interval auth: top proof does not verify", ErrBadPacket)
+	}
+	if _, err := m.verifier.VerifyRoot(root, tr.Sig); err != nil {
+		return fmt.Errorf("%w: interval root signature: %v", ErrBadPacket, err)
+	}
+	return nil
+}
+
+// verifyENCAuth proves an ENC packet into the signed interval root and
+// returns its block's subtree root.
+func (m *Member) verifyENCAuth(inner []byte, p *packet.ENC, tr *packet.AuthTrailer) (keys.MerkleHash, error) {
+	var zero keys.MerkleHash
+	if tr.NSub != m.k || tr.LeafIndex != int(p.Seq) {
+		return zero, fmt.Errorf("%w: interval auth: leaf position %d/%d does not match seq %d, k %d",
+			ErrBadPacket, tr.LeafIndex, tr.NSub, p.Seq, m.k)
+	}
+	if int(p.BlockID) >= tr.NTop-1 {
+		return zero, fmt.Errorf("%w: interval auth: block %d outside %d-block top tree",
+			ErrBadPacket, p.BlockID, tr.NTop-1)
+	}
+	leaf := keys.LeafHash(keys.DomainENC, inner)
+	blockRoot, ok := keys.VerifyMerkleProof(leaf, int(p.Seq), tr.NSub, tr.SubProof)
+	if !ok {
+		return zero, fmt.Errorf("%w: interval auth: block proof does not verify", ErrBadPacket)
+	}
+	if err := m.verifyRootLocked(blockRoot, int(p.BlockID), tr); err != nil {
+		return zero, err
+	}
+	return blockRoot, nil
+}
+
+// verifyPARITYAuth proves a PARITY packet's claimed block root into
+// the signed interval root. The parity payload itself is code, not a
+// tree leaf; the decoded block is checked against the returned root
+// after FEC recovery (tryDecodeLocked).
+func (m *Member) verifyPARITYAuth(p *packet.PARITY, tr *packet.AuthTrailer) (keys.MerkleHash, error) {
+	var zero keys.MerkleHash
+	if !tr.HasAux || len(tr.SubProof) != 0 {
+		return zero, fmt.Errorf("%w: interval auth: PARITY trailer without a block root", ErrBadPacket)
+	}
+	if int(p.BlockID) >= tr.NTop-1 {
+		return zero, fmt.Errorf("%w: interval auth: block %d outside %d-block top tree",
+			ErrBadPacket, p.BlockID, tr.NTop-1)
+	}
+	if err := m.verifyRootLocked(tr.Aux, int(p.BlockID), tr); err != nil {
+		return zero, err
+	}
+	return tr.Aux, nil
+}
+
+// verifyUSRAuth proves a USR packet into the signed interval root (the
+// USR subtree is the top tree's last leaf).
+func (m *Member) verifyUSRAuth(inner []byte, tr *packet.AuthTrailer) error {
+	leaf := keys.LeafHash(keys.DomainUSR, inner)
+	usrRoot, ok := keys.VerifyMerkleProof(leaf, tr.LeafIndex, tr.NSub, tr.SubProof)
+	if !ok {
+		return fmt.Errorf("%w: interval auth: USR proof does not verify", ErrBadPacket)
+	}
+	return m.verifyRootLocked(usrRoot, tr.NTop-1, tr)
+}
+
+// recordBlockRootLocked stores a packet's verified block root,
+// rejecting a packet that contradicts an earlier verified root for the
+// same block (two distinct signed intervals sharing a message ID).
+func recordBlockRootLocked(a *msgAssembly, block int, root *keys.MerkleHash) error {
+	if root == nil {
+		return nil
+	}
+	if a.blockRoots == nil {
+		a.blockRoots = make(map[int]keys.MerkleHash)
+	}
+	if prev, ok := a.blockRoots[block]; ok && prev != *root {
+		return fmt.Errorf("%w: block %d root contradicts an earlier verified packet", ErrWrongMessage, block)
+	}
+	a.blockRoots[block] = *root
+	return nil
 }
 
 // assemblyLocked returns the current assembly, starting a fresh one when a
@@ -183,11 +341,14 @@ func (m *Member) assemblyLocked(msgID uint8) *msgAssembly {
 	return m.cur
 }
 
-func (m *Member) ingestENCLocked(p *packet.ENC, raw []byte) (IngestResult, error) {
+func (m *Member) ingestENCLocked(p *packet.ENC, raw []byte, blockRoot *keys.MerkleHash) (IngestResult, error) {
 	res := IngestResult{Kind: packet.TypeENC, MsgID: p.MsgID, Block: int(p.BlockID), Seq: int(p.Seq)}
 	a := m.assemblyLocked(p.MsgID)
 	if a.done {
 		return res, ErrStale
+	}
+	if err := recordBlockRootLocked(a, int(p.BlockID), blockRoot); err != nil {
+		return res, err
 	}
 	a.maxKID = int(p.MaxKID)
 	// Rederive this interval's node ID before the range check.
@@ -215,11 +376,14 @@ func (m *Member) ingestENCLocked(p *packet.ENC, raw []byte) (IngestResult, error
 	return m.tryDecodeLocked(a, res)
 }
 
-func (m *Member) ingestPARITYLocked(p *packet.PARITY) (IngestResult, error) {
+func (m *Member) ingestPARITYLocked(p *packet.PARITY, blockRoot *keys.MerkleHash) (IngestResult, error) {
 	res := IngestResult{Kind: packet.TypePARITY, MsgID: p.MsgID, Block: int(p.BlockID), Seq: int(p.Seq)}
 	a := m.assemblyLocked(p.MsgID)
 	if a.done {
 		return res, ErrStale
+	}
+	if err := recordBlockRootLocked(a, int(p.BlockID), blockRoot); err != nil {
+		return res, err
 	}
 	res.Duplicate = !m.storeLocked(a, int(p.BlockID), int(p.Seq), p.Payload)
 	return m.tryDecodeLocked(a, res)
@@ -275,12 +439,28 @@ func (m *Member) tryDecodeLocked(a *msgAssembly, res IngestResult) (IngestResult
 		if err := m.coder.DecodeInto(m.scratch, shards); err != nil {
 			continue // fewer than k distinct shards
 		}
+		fulls := make([][]byte, m.k)
 		for seq, payload := range m.scratch {
 			full := make([]byte, packet.PacketLen)
 			full[0] = byte(packet.TypeENC)<<6 | a.msgID
 			full[1] = byte(block)
 			full[2] = byte(seq)
 			copy(full[packet.FECOffset:], payload)
+			fulls[seq] = full
+		}
+		if m.verifier != nil {
+			// Parity payloads are not tree leaves, so a decoded block
+			// proves itself by reproducing the verified block root from
+			// its k reconstructed packets. A mismatch means at least one
+			// stored shard was forged: drop the whole block so honest
+			// retransmissions can rebuild it.
+			want, ok := a.blockRoots[block]
+			if !ok || !blockRootMatches(fulls, want) {
+				delete(a.shards, block)
+				continue
+			}
+		}
+		for seq, full := range fulls {
 			p, err := packet.ParseENC(full)
 			if err != nil {
 				return res, fmt.Errorf("rekey: decoded block %d slot %d corrupt: %w", block, seq, err)
@@ -301,6 +481,17 @@ func (m *Member) tryDecodeLocked(a *msgAssembly, res IngestResult) (IngestResult
 		}
 	}
 	return res, nil
+}
+
+// blockRootMatches recomputes a decoded block's Merkle subtree root
+// from its k reconstructed packets and compares it to the verified
+// root its shards arrived under.
+func blockRootMatches(fulls [][]byte, want keys.MerkleHash) bool {
+	leaves := make([]keys.MerkleHash, len(fulls))
+	for i, full := range fulls {
+		leaves[i] = keys.LeafHash(keys.DomainENC, full)
+	}
+	return keys.NewMerkleTree(leaves).Root() == want
 }
 
 // NACK returns the feedback the member would send at a round boundary:

@@ -46,6 +46,7 @@ import (
 	"repro/internal/assign"
 	"repro/internal/blockplan"
 	"repro/internal/fec"
+	"repro/internal/gf256"
 	"repro/internal/keys"
 	"repro/internal/keytree"
 	"repro/internal/obs"
@@ -94,6 +95,10 @@ type Config struct {
 	// Obs, when non-nil, receives the server's metrics and trace
 	// events. A nil registry costs the pipeline nothing.
 	Obs *obs.Registry
+	// Signer, when non-nil, turns on amortized interval signing: each
+	// rekey message's Merkle root is signed once and every packet
+	// carries an inclusion proof plus that signature (see auth.go).
+	Signer *keys.Signer
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +164,11 @@ func buildServer(cfg Config) (*Server, error) {
 	strat, err := keytree.NewStrategy(cfg.Strategy)
 	if err != nil {
 		return nil, fmt.Errorf("rekey: %w", err)
+	}
+	if cfg.GF256Kernel != "" {
+		if err := gf256.SetKernel(cfg.GF256Kernel); err != nil {
+			return nil, fmt.Errorf("rekey: %w", err)
+		}
 	}
 	var gen *keys.Generator
 	if cfg.KeySeed != 0 {
@@ -295,6 +305,11 @@ func (s *Server) Rekey() (*RekeyMessage, error) {
 		k:      s.cfg.K,
 		obs:    s.obs,
 	}
+	if s.cfg.Signer != nil {
+		if err := rm.buildAuth(s.cfg.Signer); err != nil {
+			return nil, err
+		}
+	}
 	s.lastMsg = rm
 	if s.obs.Enabled() {
 		s.obs.Inc(obs.CRekeys)
@@ -330,11 +345,16 @@ type RekeyMessage struct {
 	degree int
 	k      int
 	obs    *obs.Registry
+	// auth is the interval's authentication state (Merkle trees, root
+	// signature, pre-built trailers); nil on an unsigned server. Built
+	// once in Rekey, read-only afterwards.
+	auth *intervalAuth
 
 	mu     sync.Mutex
 	coder  *fec.Coder // guarded by mu
 	data   [][][]byte // guarded by mu; per block: k FEC payloads, built lazily
 	parity [][][]byte // guarded by mu; per block: parity payloads generated so far
+	wire   [][]byte   // guarded by mu; cached ENC datagrams on unsigned messages
 }
 
 // Blocks returns the number of FEC blocks.
@@ -362,6 +382,12 @@ func (rm *RekeyMessage) blockDataLocked(block int) ([][]byte, error) {
 	if rm.data[block] == nil {
 		payloads := make([][]byte, rm.k)
 		for s := 0; s < rm.k; s++ {
+			if rm.auth != nil {
+				// The authenticated wire bytes already exist; parity
+				// covers the packet span, not the trailer.
+				payloads[s] = rm.auth.encWire[block*rm.k+s][packet.FECOffset:packet.PacketLen]
+				continue
+			}
 			raw, err := rm.ENC[block*rm.k+s].Marshal()
 			if err != nil {
 				return nil, err
@@ -391,6 +417,18 @@ func (rm *RekeyMessage) parityPacket(block, idx int, payload []byte) (*packet.PA
 // stable, so a prefix of each block's parity sequence is kept and
 // extended on demand (or in bulk by PrecomputeParity).
 func (rm *RekeyMessage) Parity(block, idx int) (*packet.PARITY, error) {
+	payload, err := rm.parityPayload(block, idx)
+	if err != nil {
+		return nil, err
+	}
+	return rm.parityPacket(block, idx, payload)
+}
+
+// parityPayload returns (generating and caching if needed) the raw FEC
+// payload of parity packet idx of the given block. On a cache hit it
+// does not allocate, which makes it the backing for the zero-copy send
+// path (AppendWireParity).
+func (rm *RekeyMessage) parityPayload(block, idx int) ([]byte, error) {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
 	if err := rm.ensureCoderLocked(); err != nil {
@@ -417,7 +455,7 @@ func (rm *RekeyMessage) Parity(block, idx int) (*packet.PARITY, error) {
 	} else {
 		rm.obs.Inc(obs.CParityCacheHit)
 	}
-	return rm.parityPacket(block, idx, rm.parity[block][idx])
+	return rm.parity[block][idx], nil
 }
 
 // PrecomputeParity generates (and caches) parity payloads for many
