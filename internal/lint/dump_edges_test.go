@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"testing"
+)
+
+func TestDumpLockEdges(t *testing.T) {
+	if os.Getenv("DUMP_EDGES") == "" {
+		t.Skip("set DUMP_EDGES=1")
+	}
+	lockOrderDebug = func(from, to, via string, pos token.Position) {
+		fmt.Printf("EDGE %-28s -> %-28s via=%-16s %s:%d\n", from, to, via, pos.Filename, pos.Line)
+	}
+	defer func() { lockOrderDebug = nil }()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunFull(root, []string{"./..."}, nil, []*ModuleAnalyzer{LockOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumpKeyFlowFacts(t *testing.T) {
+	if os.Getenv("DUMP_FACTS") == "" {
+		t.Skip("set DUMP_FACTS=1")
+	}
+	keyFlowDebug = func(fn string, pos token.Position, bits uint64, sink string) {
+		fmt.Printf("LEAK %-24s bits=%#x %-40s %s:%d\n", fn, bits, sink, pos.Filename, pos.Line)
+	}
+	defer func() { keyFlowDebug = nil }()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunFull(root, []string{"./..."}, nil, []*ModuleAnalyzer{KeyFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

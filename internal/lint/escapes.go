@@ -1,0 +1,185 @@
+package lint
+
+// escapes: the static replacement for the runtime AllocsPerRun spot
+// check. The hotpathalloc analyzer rejects the AST constructs that
+// *visibly* allocate (append growth, literals, closures, fmt); this
+// analyzer closes the remaining gap by asking the compiler itself: it
+// runs `go build -gcflags=-m=2` over every package declaring a
+// //rekeylint:hotpath function, parses the escape-analysis
+// diagnostics, and fails if any escape or heap move lands inside a
+// hotpath body. That proves the zero-allocation property for *every*
+// annotated hot path on every commit, not just the ones a benchmark
+// happens to exercise -- with one reading caveat: the proof covers the
+// annotated bodies, not their callees, which is why the runtime
+// AllocsPerRun gates stay alongside it (see DESIGN.md).
+//
+// Two diagnostic classes are deliberately accepted:
+//
+//   - `"..." escapes to heap` where the subject is a constant string:
+//     panic("static message") boxes interned read-only data, no
+//     runtime allocation happens (hotpathalloc documents the same
+//     carve-out for panic).
+//   - `leaking param: x` and friends: a parameter leaking means the
+//     *caller's* argument may escape at the call site; the annotated
+//     function itself performs no allocation.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Escapes proves //rekeylint:hotpath functions free of heap escapes
+// using the compiler's own escape analysis.
+var Escapes = &ModuleAnalyzer{
+	Name: "escapes",
+	Doc:  "//rekeylint:hotpath functions must compile with zero heap escapes (go build -gcflags=-m=2 proof)",
+	Run:  runEscapes,
+}
+
+// hotRange is one annotated function's body extent.
+type hotRange struct {
+	name       string
+	file       string // absolute path
+	start, end int    // line range, inclusive
+}
+
+func runEscapes(mp *ModulePass) error {
+	var ranges []hotRange
+	dirSet := make(map[string]bool)
+	var dirs []string
+	for _, pkg := range mp.All {
+		if !mp.Targets[pkg] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			pos := mp.Fset.Position(f.Pos())
+			if IsTestFilename(pos.Filename) {
+				continue // go build compiles non-test files only
+			}
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !hasDirective(fn.Doc, "hotpath") {
+					continue
+				}
+				start := mp.Fset.Position(fn.Body.Pos())
+				end := mp.Fset.Position(fn.Body.End())
+				ranges = append(ranges, hotRange{
+					name:  fn.Name.Name,
+					file:  start.Filename,
+					start: start.Line,
+					end:   end.Line,
+				})
+				if !dirSet[pkg.Dir] {
+					dirSet[pkg.Dir] = true
+					dirs = append(dirs, pkg.Dir)
+				}
+			}
+		}
+	}
+	if len(ranges) == 0 {
+		return nil
+	}
+	sort.Strings(dirs)
+
+	args := []string{"build", "-gcflags=-m=2"}
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(mp.ModRoot, dir)
+		if err != nil {
+			return fmt.Errorf("escapes: %w", err)
+		}
+		args = append(args, "./"+filepath.ToSlash(rel))
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = mp.ModRoot
+	out, err := cmd.CombinedOutput()
+	diags := parseEscapeDiags(out)
+	if err != nil && len(diags) == 0 {
+		// A genuine build failure (the -m output itself never fails
+		// the compile); surface it instead of passing silently.
+		return fmt.Errorf("escapes: go build -gcflags=-m=2: %v\n%s", err, out)
+	}
+
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		abs := d.file
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(mp.ModRoot, abs)
+		}
+		for _, hr := range ranges {
+			if abs != hr.file || d.line < hr.start || d.line > hr.end {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d:%d:%s", abs, d.line, d.col, d.msg)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			mp.ReportAt(token.Position{Filename: abs, Line: d.line, Column: d.col},
+				"heap allocation in hot path %s: %s (restructure, or demote the //rekeylint:hotpath annotation)", hr.name, d.msg)
+		}
+	}
+	return nil
+}
+
+// escapeDiag is one parsed compiler diagnostic that implies a runtime
+// heap allocation.
+type escapeDiag struct {
+	file      string
+	line, col int
+	msg       string
+}
+
+var escapeLineRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// constStringRe matches escape subjects that are string constants --
+// interned static data, not runtime allocations.
+var constStringRe = regexp.MustCompile(`^"(?:[^"\\]|\\.)*"(?:\s*\+\s*"(?:[^"\\]|\\.)*")*$`)
+
+// parseEscapeDiags extracts the allocation-implying lines from
+// -gcflags=-m=2 output: `<expr> escapes to heap` and
+// `moved to heap: <name>`. Inlining chatter, `does not escape` and
+// `leaking param` lines are dropped.
+func parseEscapeDiags(out []byte) []escapeDiag {
+	var diags []escapeDiag
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		m := escapeLineRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		var subject string
+		switch {
+		case strings.HasSuffix(msg, " escapes to heap") || strings.HasSuffix(msg, " escapes to heap:"):
+			subject = strings.TrimSuffix(strings.TrimSuffix(msg, ":"), " escapes to heap")
+			if constStringRe.MatchString(strings.TrimSpace(subject)) {
+				continue // panic("constant"): interned, no allocation
+			}
+		case strings.HasPrefix(msg, "moved to heap: "):
+			subject = strings.TrimPrefix(msg, "moved to heap: ")
+		default:
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		diags = append(diags, escapeDiag{
+			file: m[1],
+			line: ln,
+			col:  col,
+			msg:  strings.TrimSuffix(msg, ":"),
+		})
+		_ = subject
+	}
+	return diags
+}

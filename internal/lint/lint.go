@@ -122,52 +122,37 @@ func hasDirective(doc *ast.CommentGroup, name string) bool {
 }
 
 // ignoreDirective matches one //rekeylint:ignore comment and captures
-// the (required) reason.
+// the (required) reason; the index itself lives in run.go.
 const ignorePrefix = "rekeylint:ignore"
 
-// applyIgnores drops diagnostics suppressed by a //rekeylint:ignore
-// comment on the same line or the line immediately above, and adds a
-// diagnostic for every ignore directive missing its reason (a reviewed
-// reason is what makes a suppression auditable).
-func applyIgnores(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
-	// ignored[file][line] records lines carrying a well-formed ignore.
-	ignored := make(map[string]map[int]bool)
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, ignorePrefix) {
-					continue
-				}
-				reason := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
-				pos := fset.Position(c.Pos())
-				if reason == "" {
-					diags = append(diags, Diagnostic{
-						Pos:      pos,
-						Analyzer: "rekeylint",
-						Message:  "rekeylint:ignore requires a reason, e.g. //rekeylint:ignore cold error path",
-					})
-					continue
-				}
-				m := ignored[pos.Filename]
-				if m == nil {
-					m = make(map[int]bool)
-					ignored[pos.Filename] = m
-				}
-				m[pos.Line] = true
-			}
+// declassifyReason returns the reason attached to a
+// //rekeylint:declassify directive on the declaration, and whether the
+// directive is present at all. Declassify is keyflow's only sanitizer
+// besides crypto/subtle: the function's internal flows are accepted as
+// reviewed and its results are treated as public. Like ignore, the
+// directive requires a reason so every trust decision is auditable.
+func declassifyReason(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if rest, ok := strings.CutPrefix(text, "rekeylint:declassify"); ok {
+			return strings.TrimSpace(rest), true
 		}
 	}
-	out := diags[:0]
-	for _, d := range diags {
-		if d.Analyzer != "rekeylint" { // never suppress the suppression check
-			if m := ignored[d.Pos.Filename]; m != nil && (m[d.Pos.Line] || m[d.Pos.Line-1]) {
-				continue
-			}
+	return "", false
+}
+
+// sortIgnores orders ignore entries by file, line.
+func sortIgnores(entries []IgnoreEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
 		}
-		out = append(out, d)
-	}
-	return out
+		return a.Pos.Line < b.Pos.Line
+	})
 }
 
 // sortDiags orders findings by file, line, column, analyzer.

@@ -119,3 +119,44 @@ func TestIgnoreRequiresReason(t *testing.T) {
 		t.Fatalf("diagnostics missing expected pair: %v", diags)
 	}
 }
+
+// --- module-wide analyzers ---
+
+func TestKeyFlow(t *testing.T) {
+	linttest.RunModule(t, lint.KeyFlow, linttest.Fixture{
+		Dir:  "testdata/keyflow/app",
+		Path: "repro/internal/app",
+		Overrides: map[string]string{
+			"repro/internal/keys":   "testdata/keyflow/keys",
+			"repro/internal/helper": "testdata/keyflow/helper",
+		},
+	})
+}
+
+func TestLockOrderDAG(t *testing.T) {
+	linttest.RunModule(t, lint.LockOrder, linttest.Fixture{
+		Dir:  "testdata/lockorder/dag",
+		Path: "repro/internal/dag",
+	})
+}
+
+func TestLockOrderCycle(t *testing.T) {
+	linttest.RunModule(t, lint.LockOrder, linttest.Fixture{
+		Dir:  "testdata/lockorder/cycle",
+		Path: "repro/internal/cycle",
+	})
+}
+
+func TestEscapesHot(t *testing.T) {
+	linttest.RunModule(t, lint.Escapes, linttest.Fixture{
+		Dir:  "testdata/escapes/hot",
+		Path: "repro/internal/hot",
+	})
+}
+
+func TestEscapesClean(t *testing.T) {
+	linttest.RunModule(t, lint.Escapes, linttest.Fixture{
+		Dir:  "testdata/escapes/clean",
+		Path: "repro/internal/clean",
+	})
+}

@@ -100,6 +100,63 @@ func Run(t *testing.T, a *lint.Analyzer, fx Fixture) {
 	}
 }
 
+// RunModule analyzes the fixture with a module-wide analyzer and fails
+// t on any mismatch between reported diagnostics and the fixture's
+// want comments. The fixture package and its overrides form the loaded
+// closure; only the fixture package itself is a reporting target,
+// mirroring a partial rekeylint run.
+func RunModule(t *testing.T, ma *lint.ModuleAnalyzer, fx Fixture) {
+	t.Helper()
+	modRoot, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(modRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.IncludeTests = fx.IncludeTests
+	dir, err := filepath.Abs(fx.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Overrides[fx.Path] = dir
+	for p, d := range fx.Overrides {
+		abs, err := filepath.Abs(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loader.Overrides[p] = abs
+	}
+	pkgs, err := loader.Packages(fx.Path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fx.Dir, err)
+	}
+
+	diags, err := lint.RunModuleAnalyzers(loader, modRoot, pkgs, []*lint.ModuleAnalyzer{ma})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, pkg := range pkgs {
+		ws, err := collectWants(loader.Fset, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+	for _, d := range diags {
+		if !consume(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
 // consume marks the first unmatched want on the diagnostic's line whose
 // regexp matches its message.
 func consume(wants []*want, d lint.Diagnostic) bool {

@@ -47,6 +47,13 @@ type Loader struct {
 	// loads external test packages alongside.
 	IncludeTests bool
 
+	// Order lists every module package this loader has type-checked, in
+	// completion order -- imports finish before their importers, so the
+	// slice is topologically sorted dependencies-first. Module analyses
+	// (keyflow's facts layer, the lockorder call graph) walk it to see
+	// the whole module at once with per-package facts already computed.
+	Order []*Package
+
 	ctxt    build.Context
 	pkgs    map[string]*Package
 	loading map[string]bool
@@ -222,6 +229,7 @@ func (l *Loader) load(path string) (*Package, error) {
 		return nil, err
 	}
 	l.pkgs[path] = pkg
+	l.Order = append(l.Order, pkg)
 	return pkg, nil
 }
 
@@ -248,6 +256,7 @@ func (l *Loader) loadXTest(path string) (*Package, error) {
 		return nil, err
 	}
 	l.pkgs[xpath] = pkg
+	l.Order = append(l.Order, pkg)
 	return pkg, nil
 }
 

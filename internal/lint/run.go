@@ -1,23 +1,56 @@
 package lint
 
 // Run drives the whole suite over package patterns -- the multichecker
-// entry point cmd/rekeylint and the driver tests share.
+// entry point cmd/rekeylint and the driver tests share. RunFull is the
+// complete pipeline: per-package analyzers, then module analyzers over
+// the loaded closure (keyflow / lockorder / escapes), then one global
+// suppression pass that both filters diagnostics through
+// //rekeylint:ignore directives and audits the directives themselves
+// (missing reasons and stale suppressions are findings).
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"io/fs"
 	"path/filepath"
 	"strings"
 )
 
+// A Result is one full lint run: the surviving diagnostics plus the
+// suppression audit (every //rekeylint:ignore seen, with usage).
+type Result struct {
+	Diags []Diagnostic
+	// Ignores lists every well-formed //rekeylint:ignore directive in
+	// the analyzed packages, sorted by position. Used reports whether
+	// the directive suppressed at least one diagnostic in this run.
+	Ignores []IgnoreEntry
+}
+
+// An IgnoreEntry is one //rekeylint:ignore directive.
+type IgnoreEntry struct {
+	Pos    token.Position
+	Reason string
+	Used   bool
+}
+
 // Run loads every package matched by patterns (relative to modRoot;
 // "./..." walks the tree, "./dir" names one package) and applies the
-// analyzers, returning the surviving diagnostics sorted by position.
-// Test files are included. Directories named testdata are skipped by
-// the ... expansion but can be named explicitly -- that is how the
-// driver test points the binary at a known-bad tree.
+// per-package analyzers, returning the surviving diagnostics sorted by
+// position. A pattern that matches no packages is an error, not a
+// silent pass -- a typo'd pattern must not green a CI gate.
 func Run(modRoot string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	res, err := RunFull(modRoot, patterns, analyzers, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
+}
+
+// RunFull is Run plus module analyzers and the suppression audit. The
+// stale-ignore check only runs when the full default suite is active
+// (an ignore aimed at a filtered-out analyzer is not stale).
+func RunFull(modRoot string, patterns []string, analyzers []*Analyzer, modAnalyzers []*ModuleAnalyzer) (*Result, error) {
 	loader, err := NewLoader(modRoot)
 	if err != nil {
 		return nil, err
@@ -27,7 +60,8 @@ func Run(modRoot string, patterns []string, analyzers []*Analyzer) ([]Diagnostic
 	if err != nil {
 		return nil, err
 	}
-	var diags []Diagnostic
+	var targets []*Package
+	targetSet := make(map[*Package]bool)
 	for _, dir := range dirs {
 		path, err := importPathFor(modRoot, loader.ModPath, dir)
 		if err != nil {
@@ -38,19 +72,89 @@ func Run(modRoot string, patterns []string, analyzers []*Analyzer) ([]Diagnostic
 			return nil, err
 		}
 		for _, pkg := range pkgs {
-			ds, err := RunAnalyzers(pkg, loader.Fset, analyzers)
-			if err != nil {
-				return nil, err
+			if !targetSet[pkg] {
+				targetSet[pkg] = true
+				targets = append(targets, pkg)
 			}
-			diags = append(diags, ds...)
 		}
 	}
+
+	var raw []Diagnostic
+	for _, pkg := range targets {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     loader.Fset,
+				Path:     strings.TrimSuffix(pkg.Path, ".test"),
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+
+	if len(modAnalyzers) > 0 {
+		mp := &ModulePass{
+			Fset:    loader.Fset,
+			ModRoot: modRoot,
+			ModPath: loader.ModPath,
+			All:     loader.Order,
+			Targets: targetSet,
+			Graph:   BuildCallGraph(loader.Order),
+			Facts:   NewFactBase(),
+			diags:   &raw,
+		}
+		for _, ma := range modAnalyzers {
+			mp.Analyzer = ma
+			if err := ma.Run(mp); err != nil {
+				return nil, fmt.Errorf("lint: analyzer %s: %w", ma.Name, err)
+			}
+		}
+	}
+
+	idx := newIgnoreIndex()
+	for _, pkg := range targets {
+		idx.collect(loader.Fset, pkg.Files, &raw)
+	}
+	diags := idx.filter(raw)
+	if fullSuite(analyzers, modAnalyzers) {
+		diags = append(diags, idx.stale()...)
+	}
 	sortDiags(diags)
-	return diags, nil
+	return &Result{Diags: diags, Ignores: idx.sortedEntries()}, nil
+}
+
+// fullSuite reports whether the run includes every default analyzer,
+// the precondition for calling an unused ignore stale.
+func fullSuite(analyzers []*Analyzer, modAnalyzers []*ModuleAnalyzer) bool {
+	have := make(map[string]bool)
+	for _, a := range analyzers {
+		have[a.Name] = true
+	}
+	for _, ma := range modAnalyzers {
+		have[ma.Name] = true
+	}
+	for _, a := range DefaultAnalyzers() {
+		if !have[a.Name] {
+			return false
+		}
+	}
+	for _, ma := range DefaultModuleAnalyzers() {
+		if !have[ma.Name] {
+			return false
+		}
+	}
+	return true
 }
 
 // RunAnalyzers applies the analyzers to one loaded package and filters
-// the findings through the package's //rekeylint:ignore directives.
+// the findings through the package's //rekeylint:ignore directives --
+// the single-package entry point linttest uses. No stale-ignore audit
+// happens here; fixtures run one analyzer at a time.
 func RunAnalyzers(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -67,10 +171,151 @@ func RunAnalyzers(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]D
 			return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
 		}
 	}
-	return applyIgnores(fset, pkg.Files, diags), nil
+	idx := newIgnoreIndex()
+	idx.collect(fset, pkg.Files, &diags)
+	return idx.filter(diags), nil
 }
 
-// expandPatterns resolves package patterns to package directories.
+// RunModuleAnalyzers applies module analyzers over a loader's full
+// package closure, reporting findings only in targets and filtering
+// them through the targets' ignore directives -- the single-fixture
+// entry point linttest uses for keyflow / lockorder / escapes. The
+// loader must already have loaded the targets (All comes from its
+// dependency order).
+func RunModuleAnalyzers(loader *Loader, modRoot string, targets []*Package, modAnalyzers []*ModuleAnalyzer) ([]Diagnostic, error) {
+	targetSet := make(map[*Package]bool, len(targets))
+	for _, pkg := range targets {
+		targetSet[pkg] = true
+	}
+	var diags []Diagnostic
+	mp := &ModulePass{
+		Fset:    loader.Fset,
+		ModRoot: modRoot,
+		ModPath: loader.ModPath,
+		All:     loader.Order,
+		Targets: targetSet,
+		Graph:   BuildCallGraph(loader.Order),
+		Facts:   NewFactBase(),
+		diags:   &diags,
+	}
+	for _, ma := range modAnalyzers {
+		mp.Analyzer = ma
+		if err := ma.Run(mp); err != nil {
+			return nil, fmt.Errorf("lint: analyzer %s: %w", ma.Name, err)
+		}
+	}
+	idx := newIgnoreIndex()
+	for _, pkg := range targets {
+		idx.collect(loader.Fset, pkg.Files, &diags)
+	}
+	return idx.filter(diags), nil
+}
+
+// --- suppression index ---
+
+// ignoreIndex resolves //rekeylint:ignore directives and tracks which
+// of them actually suppressed something.
+type ignoreIndex struct {
+	entries []*IgnoreEntry
+	// byLine maps filename -> line -> entry for the suppression test.
+	byLine map[string]map[int]*IgnoreEntry
+}
+
+func newIgnoreIndex() *ignoreIndex {
+	return &ignoreIndex{byLine: make(map[string]map[int]*IgnoreEntry)}
+}
+
+// collect scans the files for ignore directives. A directive without a
+// reason is appended to diags as a finding (a reviewed reason is what
+// makes a suppression auditable) and does not suppress anything.
+func (idx *ignoreIndex) collect(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				pos := fset.Position(c.Pos())
+				if m := idx.byLine[pos.Filename]; m != nil && m[pos.Line] != nil {
+					continue // same file loaded under package and xtest package
+				}
+				if reason == "" {
+					*diags = append(*diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "rekeylint",
+						Message:  "rekeylint:ignore requires a reason, e.g. //rekeylint:ignore cold error path",
+					})
+					continue
+				}
+				e := &IgnoreEntry{Pos: pos, Reason: reason}
+				idx.entries = append(idx.entries, e)
+				m := idx.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int]*IgnoreEntry)
+					idx.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = e
+			}
+		}
+	}
+}
+
+// filter drops diagnostics suppressed by an ignore on the same line or
+// the line immediately above, marking the consumed entries used.
+func (idx *ignoreIndex) filter(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "rekeylint" { // never suppress the suppression checks
+			if m := idx.byLine[d.Pos.Filename]; m != nil {
+				if e := m[d.Pos.Line]; e != nil {
+					e.Used = true
+					continue
+				}
+				if e := m[d.Pos.Line-1]; e != nil {
+					e.Used = true
+					continue
+				}
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// stale returns a finding for every ignore that suppressed nothing:
+// either the underlying issue was fixed (delete the comment) or the
+// comment drifted away from the line it shields.
+func (idx *ignoreIndex) stale() []Diagnostic {
+	var out []Diagnostic
+	for _, e := range idx.entries {
+		if e.Used {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      e.Pos,
+			Analyzer: "rekeylint",
+			Message:  fmt.Sprintf("stale rekeylint:ignore (suppresses nothing): %s", e.Reason),
+		})
+	}
+	return out
+}
+
+func (idx *ignoreIndex) sortedEntries() []IgnoreEntry {
+	out := make([]IgnoreEntry, len(idx.entries))
+	for i, e := range idx.entries {
+		out[i] = *e
+	}
+	// entries were collected in package order; sort by position for a
+	// stable audit listing.
+	sortIgnores(out)
+	return out
+}
+
+// expandPatterns resolves package patterns to package directories. A
+// pattern that resolves to nothing (typo'd path, tree with no Go
+// files) is an error so the CI gate cannot silently lint nothing.
 func expandPatterns(modRoot string, patterns []string) ([]string, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -84,16 +329,21 @@ func expandPatterns(modRoot string, patterns []string) ([]string, error) {
 		}
 	}
 	for _, pat := range patterns {
+		matched := 0
 		recursive := false
-		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		cleaned := pat
+		if rest, ok := strings.CutSuffix(cleaned, "/..."); ok {
 			recursive = true
-			pat = rest
-			if pat == "." || pat == "" {
-				pat = "."
+			cleaned = rest
+			if cleaned == "." || cleaned == "" {
+				cleaned = "."
 			}
 		}
-		root := filepath.Join(modRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		root := filepath.Join(modRoot, filepath.FromSlash(strings.TrimPrefix(cleaned, "./")))
 		if !recursive {
+			if !hasGoFiles(root) {
+				return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+			}
 			add(root)
 			continue
 		}
@@ -110,11 +360,15 @@ func expandPatterns(modRoot string, patterns []string) ([]string, error) {
 			}
 			if hasGoFiles(p) {
 				add(p)
+				matched++
 			}
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("lint: pattern %q: %w", pat, err)
+		}
+		if matched == 0 {
+			return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
 		}
 	}
 	return dirs, nil

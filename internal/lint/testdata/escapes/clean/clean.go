@@ -1,0 +1,35 @@
+// Fixture: hotpath functions the escapes analyzer must accept -- no
+// allocation at all, a constant-string panic (interned, not a runtime
+// allocation), and a leaking parameter (the caller's problem, not an
+// allocation in this body).
+package clean
+
+// Sum is allocation-free.
+//
+//rekeylint:hotpath
+func Sum(b []byte) int {
+	s := 0
+	for _, v := range b {
+		s += int(v)
+	}
+	return s
+}
+
+// Guard panics with a constant string: the compiler reports the
+// interned string "escaping", but nothing is allocated at run time.
+//
+//rekeylint:hotpath
+func Guard(n int) int {
+	if n < 0 {
+		panic("clean: negative length")
+	}
+	return n
+}
+
+// Passthrough leaks its parameter to the caller; the annotated body
+// itself performs no allocation.
+//
+//rekeylint:hotpath
+func Passthrough(b []byte) []byte {
+	return b[:len(b):len(b)]
+}

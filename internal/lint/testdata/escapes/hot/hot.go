@@ -1,0 +1,17 @@
+// Fixture: a //rekeylint:hotpath function that heap-allocates. The
+// escapes analyzer compiles this directory with -gcflags=-m=2 and must
+// attribute the allocation to the annotated body.
+package hot
+
+// Alloc returns a fresh buffer every call: the make escapes into the
+// caller, which is exactly what a hot path must not do.
+//
+//rekeylint:hotpath
+func Alloc(n int) []byte {
+	return make([]byte, n) // want "heap allocation in hot path Alloc"
+}
+
+// ColdAlloc allocates identically but is not annotated: no finding.
+func ColdAlloc(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,78 @@
+// Fixture: the consuming package for the keyflow analyzer -- direct
+// sinks, variable-time comparisons, sanitizers, declassification, and
+// interprocedural leaks through the helper fixture package.
+package app
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"fmt"
+
+	"repro/internal/helper"
+	"repro/internal/keys"
+)
+
+// Direct flows into fmt sinks.
+func direct(k keys.Key) {
+	fmt.Printf("key: %v\n", k)    // want "secret key material flows into fmt.Printf"
+	fmt.Println(k[:])             // want "secret key material flows into fmt.Println"
+	_ = fmt.Sprintf("%x", k[:4])  // want "secret key material flows into fmt.Sprintf"
+	fmt.Printf("len: %d", len(k)) // a length is public: no finding
+	fmt.Println(k.String())       // declassified fingerprint: no finding
+}
+
+// Derived values keep the taint: copies, slices, hex blobs.
+func derived(k keys.Key) {
+	cp := make([]byte, len(k))
+	copy(cp, k[:])
+	buf := append([]byte("prefix"), cp...)
+	panic(fmt.Sprint(buf)) // want "secret key material flows into fmt.Sprint" "secret key material flows into panic"
+}
+
+// Comparisons must be constant-time.
+func compare(a, b keys.Key, raw []byte) bool {
+	if a == b { // want "non-constant-time comparison of secret key material"
+		return true
+	}
+	if bytes.Equal(a[:], raw) { // want "bytes.Equal on secret key material is not constant-time"
+		return true
+	}
+	switch a { // want "switch on secret value is a non-constant-time comparison"
+	case b:
+		return true
+	}
+	return subtle.ConstantTimeCompare(a[:], b[:]) == 1 && a.Equal(b) // sanctioned: no finding
+}
+
+// Secret-keyed maps hash key bytes in variable time and retain them.
+func index(m map[keys.Key]int, k keys.Key) int {
+	return m[k] // want "map keyed by secret type"
+}
+
+// Interprocedural: the sink is in the helper package; the finding is
+// at this call site, driven by the cross-package leaks fact.
+func viaHelper(k keys.Key) {
+	_ = helper.Describe(k[:]) // want "secret key material flows into Describe, which passes it to fmt.Errorf"
+	_ = helper.Count(k[:])    // only the public length leaks: no finding
+}
+
+// Intra-package interprocedural: the local fixpoint must find the
+// chain before the reporting pass.
+func logLocal(b []byte) error {
+	return fmt.Errorf("app: %x", b)
+}
+
+func viaLocal(k keys.Key) {
+	_ = logLocal(k[:]) // want "secret key material flows into logLocal, which passes it to fmt.Errorf"
+}
+
+// A reviewed declassified path is exempt end to end.
+//
+//rekeylint:declassify fixture: renders a reviewed audit line
+func audit(k keys.Key) string {
+	return fmt.Sprintf("audit %x", k[:])
+}
+
+func useAudit(k keys.Key) {
+	fmt.Println(audit(k)) // declassified result is public: no finding
+}

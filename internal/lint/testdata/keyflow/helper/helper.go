@@ -1,0 +1,18 @@
+// Fixture: a dependency package whose helpers forward their arguments
+// to fmt sinks. The keyflow facts layer must record the leak here and
+// surface it at call sites in the importing fixture package -- the
+// interprocedural half of the analyzer.
+package helper
+
+import "fmt"
+
+// Describe formats its argument bytes into an error: any caller
+// passing secret material leaks it, two packages away from the sink.
+func Describe(b []byte) error {
+	return fmt.Errorf("helper: payload %x", b)
+}
+
+// Count only reads the length, which is public.
+func Count(b []byte) error {
+	return fmt.Errorf("helper: %d bytes", len(b))
+}

@@ -1,0 +1,21 @@
+// Fixture: a stand-in for the real key package, loaded under
+// repro/internal/keys so the keyflow analyzer's secret-type roots
+// (keys.Key and friends) resolve against it.
+package keys
+
+import "crypto/subtle"
+
+// Key is the fixture secret type.
+type Key [16]byte
+
+// Equal is the sanctioned constant-time comparator.
+func (k Key) Equal(other Key) bool {
+	return subtle.ConstantTimeCompare(k[:], other[:]) == 1
+}
+
+// String renders a reviewed public fingerprint, not key bytes.
+//
+//rekeylint:declassify fixture fingerprint, never raw key bytes
+func (k Key) String() string {
+	return "key-fingerprint"
+}

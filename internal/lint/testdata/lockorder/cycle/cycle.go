@@ -1,0 +1,30 @@
+// Fixture: two lock classes acquired in both orders -- the canonical
+// deadlock shape. The lockorder analyzer must report the cycle at the
+// acquisition edges.
+package cycle
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+
+func (a *A) Forward() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.b.mu.Lock() // want "lock-order cycle"
+	a.b.mu.Unlock()
+}
+
+func (b *B) Backward() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.a.mu.Lock() // want "lock-order cycle"
+	b.a.mu.Unlock()
+}

@@ -1,0 +1,48 @@
+// Fixture: a module whose mutex acquisitions form a consistent DAG --
+// outer is always taken before inner, including through a call -- so
+// the lockorder analyzer must stay silent.
+package dag
+
+import "sync"
+
+type Outer struct {
+	mu    sync.Mutex
+	inner *Inner
+}
+
+type Inner struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Nested acquisition in one canonical direction.
+func (o *Outer) Bump() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.inner.mu.Lock()
+	o.inner.n++
+	o.inner.mu.Unlock()
+}
+
+// The same direction through a call edge: Bump's callee acquires the
+// inner lock while the outer is held.
+func (o *Outer) BumpVia() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.inner.add(1)
+}
+
+func (i *Inner) add(d int) {
+	i.mu.Lock()
+	i.n += d
+	i.mu.Unlock()
+}
+
+// Sequential, never nested: release before taking the other.
+func (o *Outer) Sequential() int {
+	o.mu.Lock()
+	o.mu.Unlock()
+	o.inner.mu.RLock()
+	defer o.inner.mu.RUnlock()
+	return o.inner.n
+}

@@ -95,8 +95,8 @@ func (p *BufPool) Get() *SendBuf {
 		return sb
 	}
 	p.reg.Inc(obs.CSendBufAlloc)
-	sb := &SendBuf{pool: p}
-	sb.b = make([]byte, 0, p.cap)
+	sb := &SendBuf{pool: p} //rekeylint:ignore pool-miss path: the steady state recycles, only a cold miss allocates
+	sb.b = make([]byte, 0, p.cap) //rekeylint:ignore pool-miss path: the steady state recycles, only a cold miss allocates
 	sb.refs.Store(1)
 	return sb
 }

@@ -340,7 +340,7 @@ func (s *Server) sendRef(rm *rekey.RekeyMessage, r blockplan.Ref, k int, buf *pr
 	defer buf.Release()
 	for _, a := range addrs {
 		if _, err := s.conn.WriteToUDPAddrPort(wire, a); err != nil {
-			return sendErr("multicast", err)
+			return sendErr("multicast", err) //rekeylint:ignore cold socket-error path boxes the op name
 		}
 	}
 	return nil
